@@ -1,0 +1,58 @@
+"""Figure 2: per-operator runtime breakdown of a selected query (TPC-H Q6).
+
+The paper shows the PyTorch-Profiler/TensorBoard view of the top operators;
+this benchmark produces the same information from the built-in profiler and
+prints the top-k table.  The benchmarked callable is the profiled execution.
+"""
+
+from __future__ import annotations
+
+from repro.datasets import tpch
+from repro.viz import format_breakdown, kernel_breakdown, operator_breakdown
+
+
+def test_figure2_q6_operator_breakdown(benchmark, tpch_env, scale_factor, capsys):
+    session, _ = tpch_env
+    compiled = session.compile(tpch.query(6, scale_factor), backend="pytorch")
+    inputs = session.prepare_inputs(compiled.executor)
+    compiled.executor.execute(inputs)  # warm-up
+
+    outcome = benchmark.pedantic(
+        lambda: compiled.executor.execute(inputs, profile=True),
+        rounds=3, iterations=1,
+    )
+    profile = outcome.profile
+    by_operator = operator_breakdown(profile, top_k=8)
+    by_kernel = kernel_breakdown(profile, top_k=8)
+
+    assert profile.events, "profiler collected no events"
+    assert any(row.key.startswith("Filter") for row in by_operator)
+    assert any(row.key in ("mul", "boolean_mask", "logical_and", "ge", "lt")
+               for row in by_kernel)
+
+    benchmark.extra_info["profiled_ops"] = len(profile.events)
+    with capsys.disabled():
+        print()
+        print(format_breakdown(by_operator,
+                               "Figure 2 — Q6 runtime breakdown by relational operator"))
+        print()
+        print(format_breakdown(by_kernel,
+                               "Figure 2 — Q6 runtime breakdown by tensor kernel"))
+
+
+def test_figure2_q14_operator_breakdown(benchmark, tpch_env, scale_factor, capsys):
+    session, _ = tpch_env
+    compiled = session.compile(tpch.query(14, scale_factor), backend="pytorch")
+    inputs = session.prepare_inputs(compiled.executor)
+    compiled.executor.execute(inputs)
+
+    outcome = benchmark.pedantic(
+        lambda: compiled.executor.execute(inputs, profile=True),
+        rounds=3, iterations=1,
+    )
+    rows = operator_breakdown(outcome.profile, top_k=8)
+    assert any(row.key.startswith("HashJoin") for row in rows)
+    with capsys.disabled():
+        print()
+        print(format_breakdown(rows,
+                               "Figure 2 (companion) — Q14 breakdown by operator"))

@@ -1,0 +1,43 @@
+"""Figure 3: one-line backend/device switching with identical results.
+
+The paper's Figure 3 is a code snippet showing that moving TPC-H Q6 between
+CPU (torch.jit), GPU and the web backend is a one-line change.  This benchmark
+verifies the behavioural claim — every backend/device combination returns the
+same answer — and times the compile step of each target.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import tpch
+
+COMBINATIONS = [
+    ("pytorch", "cpu"),
+    ("torchscript", "cpu"),
+    ("torchscript", "cuda"),
+    ("onnx", "cpu"),
+    ("onnx", "wasm"),
+]
+
+
+@pytest.mark.parametrize("backend,device", COMBINATIONS)
+def test_figure3_backend_switch_results_identical(benchmark, tpch_env, scale_factor,
+                                                  backend, device):
+    session, _ = tpch_env
+    sql = tpch.query(6, scale_factor)
+    reference = session.compile(sql, backend="pytorch", device="cpu").run()
+
+    compiled = session.compile(sql, backend=backend, device=device)
+    inputs = session.prepare_inputs(compiled.executor)
+
+    def compile_and_run():
+        if compiled.executor.backend.strategy == "graph":
+            compiled.executor.compile_program(inputs)
+        return compiled.executor.execute(inputs)
+
+    outcome = benchmark.pedantic(compile_and_run, rounds=3, iterations=1)
+    assert outcome.to_dataframe().equals(reference), \
+        f"backend {backend}/{device} changed the query answer"
+    benchmark.extra_info["backend"] = backend
+    benchmark.extra_info["device"] = device

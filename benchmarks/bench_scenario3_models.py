@@ -1,0 +1,75 @@
+"""Scenario 3 model sweep: PREDICT with different traditional-ML model families.
+
+The demo lets the audience swap the model inside the prediction query; this
+benchmark sweeps the model families supported by the Hummingbird-like compiler
+(logistic regression, decision tree, random forest, gradient boosting, MLP)
+over the Iris regression/classification queries and times the end-to-end
+tensor execution of each.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.session import TQPSession
+from repro.datasets import iris
+from repro.ml.models import (
+    DecisionTreeClassifier,
+    GradientBoostingClassifier,
+    LogisticRegression,
+    MLPClassifier,
+    RandomForestClassifier,
+)
+
+MODELS = {
+    "logistic_regression": lambda: LogisticRegression(epochs=150),
+    "decision_tree": lambda: DecisionTreeClassifier(max_depth=4),
+    "random_forest": lambda: RandomForestClassifier(n_estimators=8, max_depth=3),
+    "gradient_boosting": lambda: GradientBoostingClassifier(n_estimators=10,
+                                                            max_depth=2),
+    "mlp": lambda: MLPClassifier(hidden_size=8, epochs=60),
+}
+
+PREDICTION_SQL = """
+select species,
+       count(*) as flowers,
+       sum(predict('is_virginica', sepal_length, sepal_width,
+                   petal_length, petal_width)) as predicted_virginica
+from iris
+group by species
+order by species
+"""
+
+
+@pytest.fixture(scope="module")
+def iris_table():
+    # A larger synthetic Iris so per-model timing differences are visible.
+    return iris.generate_iris(samples_per_species=400)
+
+
+@pytest.mark.parametrize("model_name", sorted(MODELS))
+def test_scenario3_model_sweep(benchmark, iris_table, model_name):
+    X = np.stack([iris_table["sepal_length"], iris_table["sepal_width"],
+                  iris_table["petal_length"], iris_table["petal_width"]], axis=1)
+    y = (iris_table["species"] == "virginica").astype(np.int64)
+    model = MODELS[model_name]().fit(X, y)
+    accuracy = float((model.predict(X) == y).mean())
+    assert accuracy > 0.8, f"{model_name} failed to learn the task ({accuracy:.2f})"
+
+    session = TQPSession()
+    session.register("iris", iris_table)
+    session.register_model("is_virginica", model)
+    compiled = session.compile(PREDICTION_SQL, backend="torchscript", device="cpu")
+    inputs = session.prepare_inputs(compiled.executor)
+    compiled.executor.execute(inputs)
+
+    outcome = benchmark.pedantic(lambda: compiled.executor.execute(inputs),
+                                 rounds=5, iterations=1, warmup_rounds=1)
+    frame = outcome.to_dataframe()
+    assert frame.num_rows == 3
+    # The model's in-query predictions must match its Python predictions.
+    predicted_total = float(sum(frame["predicted_virginica"]))
+    assert predicted_total == float(model.predict(X).sum())
+    benchmark.extra_info["model"] = model_name
+    benchmark.extra_info["train_accuracy"] = accuracy

@@ -1,0 +1,28 @@
+"""Shared fixtures for the benchmark suite.
+
+The benchmarks regenerate the paper's figures/tables at a configurable TPC-H
+scale factor (default 0.01 so the full suite runs in minutes on a laptop;
+raise it with ``--tpch-sf`` for closer-to-paper data sizes).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import tpch_session
+
+
+def pytest_addoption(parser):
+    parser.addoption("--tpch-sf", action="store", type=float, default=0.01,
+                     help="TPC-H scale factor used by the benchmarks")
+
+
+@pytest.fixture(scope="session")
+def scale_factor(request) -> float:
+    return request.config.getoption("--tpch-sf")
+
+
+@pytest.fixture(scope="session")
+def tpch_env(scale_factor):
+    """(session, tables) with the TPC-H data registered."""
+    return tpch_session(scale_factor)

@@ -1,0 +1,24 @@
+"""Tensor Query Processor (TQP) reproduction.
+
+A SQL query processor that compiles relational (and ML) operators into tensor
+programs, reproducing "Share the Tensor Tea: How Databases can Leverage the
+Machine Learning Ecosystem" (VLDB 2022).
+
+Public entry points:
+
+* :class:`repro.TQPSession` — compile and run SQL over registered dataframes
+  on a chosen backend (pytorch / torchscript / onnx) and device (cpu / cuda /
+  wasm, the latter two simulated).
+* :mod:`repro.tensor` — the mini tensor runtime (PyTorch stand-in).
+* :mod:`repro.datasets` — TPC-H dbgen, synthetic Amazon reviews, Iris.
+* :mod:`repro.ml` — from-scratch ML models and the Hummingbird-like compiler
+  behind the ``PREDICT`` keyword.
+* :mod:`repro.baselines` — the row-at-a-time comparator engine (Spark stand-in).
+"""
+
+from repro.core.session import CompiledQuery, TQPSession
+from repro.dataframe import DataFrame
+
+__version__ = "0.1.0"
+
+__all__ = ["CompiledQuery", "DataFrame", "TQPSession", "__version__"]

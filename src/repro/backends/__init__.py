@@ -1,0 +1,18 @@
+"""Execution backends (compilation targets) and device cost models."""
+
+from repro.backends.base import BackendSpec, DeviceCostModel
+from repro.backends.cpu import CPUDevice
+from repro.backends.gpu_sim import SimulatedGPU
+from repro.backends.registry import BACKENDS, get_backend, get_device_model
+from repro.backends.wasm_sim import SimulatedWASM
+
+__all__ = [
+    "BACKENDS",
+    "BackendSpec",
+    "CPUDevice",
+    "DeviceCostModel",
+    "SimulatedGPU",
+    "SimulatedWASM",
+    "get_backend",
+    "get_device_model",
+]

@@ -1,0 +1,68 @@
+"""Backend and device cost-model abstractions.
+
+A *backend* in TQP terms is a compilation target for the tensor program
+(PyTorch eager, TorchScript, ONNX, ...).  A *device* is where the kernels run
+(CPU, GPU, browser/WASM).  In this reproduction:
+
+* backends decide the execution strategy (eager op dispatch vs. traced graph)
+  and any per-node interpretation overhead,
+* devices decide how the reported execution time is produced: the CPU reports
+  measured wall time; the simulated CUDA and WASM devices report time from an
+  analytic cost model fed with the op-level profile of the (real) execution.
+
+Results are always computed by real kernels; only *time* is ever simulated.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.tensor.profiler import Profiler
+
+
+@dataclasses.dataclass(frozen=True)
+class BackendSpec:
+    """A compilation target.
+
+    Attributes:
+        name: backend name exposed to users (``"pytorch"``, ``"torchscript"``,
+            ``"onnx"``).
+        strategy: ``"eager"`` (op-by-op Python dispatch, the PyTorch-like
+            default) or ``"graph"`` (trace once, optimize, replay).
+        serialize: whether the traced graph is round-tripped through the
+            ONNX-like portable format before execution (models the
+            export-to-browser path).
+        per_node_overhead_s: fixed dispatch overhead charged per graph node at
+            execution time (used to model slower interpreters such as WASM).
+        optimize_graph: whether graph optimization passes run after tracing.
+    """
+
+    name: str
+    strategy: str
+    serialize: bool = False
+    per_node_overhead_s: float = 0.0
+    optimize_graph: bool = True
+
+    def __post_init__(self) -> None:
+        if self.strategy not in ("eager", "graph"):
+            raise ValueError(f"unknown backend strategy: {self.strategy!r}")
+
+
+class DeviceCostModel:
+    """Base cost model: report the measured wall-clock time unchanged."""
+
+    name = "measured"
+
+    def report_time(self, measured_s: float, profile: Profiler | None) -> float:
+        """Return the execution time to report for a run.
+
+        Args:
+            measured_s: wall-clock seconds of the real (numpy) execution.
+            profile: op-level profile of that execution (may be ``None`` when
+                profiling was disabled; cost models must degrade gracefully).
+        """
+        return measured_s
+
+    def describe(self) -> dict:
+        """Human-readable parameters, recorded in benchmark output."""
+        return {"name": self.name}

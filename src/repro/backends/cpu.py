@@ -1,0 +1,14 @@
+"""CPU device: real execution, measured time."""
+
+from __future__ import annotations
+
+from repro.backends.base import DeviceCostModel
+
+
+class CPUDevice(DeviceCostModel):
+    """The host CPU — kernels run for real, reported time is wall-clock."""
+
+    name = "cpu"
+
+    def describe(self) -> dict:
+        return {"name": self.name, "simulated": False}

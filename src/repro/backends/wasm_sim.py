@@ -1,0 +1,40 @@
+"""Simulated browser/WASM device (stand-in for ONNX Runtime Web).
+
+The paper runs the ONNX export of a query inside a browser on a laptop and
+observes that "the web execution is quite slow".  This device models that
+path: the query must have been compiled through the ONNX-like serialized
+format, execution goes through the graph interpreter with a per-node dispatch
+overhead, and the reported time additionally applies a slowdown factor that
+represents WASM code generation quality and the weaker client machine.
+"""
+
+from __future__ import annotations
+
+from repro.backends.base import DeviceCostModel
+from repro.tensor.profiler import Profiler
+
+
+class SimulatedWASM(DeviceCostModel):
+    """Browser/WASM cost model: measured time × slowdown + dispatch overhead."""
+
+    name = "wasm (simulated)"
+
+    def __init__(self, slowdown: float = 6.0, per_op_overhead_s: float = 30e-6):
+        #: Multiplier over native CPU time (WASM SIMD-less kernels + laptop CPU).
+        self.slowdown = slowdown
+        #: JS/WASM boundary crossing cost charged per executed op.
+        self.per_op_overhead_s = per_op_overhead_s
+
+    def report_time(self, measured_s: float, profile: Profiler | None) -> float:
+        dispatch = 0.0
+        if profile is not None:
+            dispatch = len(profile.events) * self.per_op_overhead_s
+        return measured_s * self.slowdown + dispatch
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "simulated": True,
+            "slowdown": self.slowdown,
+            "per_op_overhead_s": self.per_op_overhead_s,
+        }

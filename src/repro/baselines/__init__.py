@@ -1,0 +1,5 @@
+"""Baseline comparators: the row-at-a-time engine (Spark CPU stand-in)."""
+
+from repro.baselines.rowengine import RowEngine, run_sql
+
+__all__ = ["RowEngine", "run_sql"]

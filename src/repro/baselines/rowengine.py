@@ -1,0 +1,436 @@
+"""Row-at-a-time baseline engine (the "Spark CPU" comparator).
+
+The paper compares TQP against Apache Spark running on the CPU.  Spark itself
+is not available offline, so this module provides the comparator the
+benchmarks need: an interpreted, row-oriented engine that executes the *same*
+physical plans the frontend hands to TQP.  Rows are Python dicts, expressions
+are evaluated recursively per row, joins are classic hash joins over Python
+dictionaries — i.e. a faithful stand-in for an interpreted row-at-a-time
+executor, which is exactly the performance regime the paper's Figure 1
+contrasts with tensor execution.
+
+Because both engines consume the same physical plans, the row engine doubles
+as the correctness oracle for the TPC-H test-suite.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Callable, Iterable, Optional
+
+import numpy as np
+
+from repro.core.columnar import LogicalType
+from repro.dataframe import DataFrame
+from repro.errors import ExecutionError, UnsupportedOperationError
+from repro.frontend import ast
+from repro.frontend import physical as phys
+from repro.frontend.logical import AggregateCall
+
+Row = dict[str, Any]
+
+_NS_PER_DAY = 86_400_000_000_000
+
+
+def _like_to_regex(pattern: str) -> re.Pattern:
+    return re.compile("^" + ".*".join(re.escape(p) for p in pattern.split("%")) + "$")
+
+
+class RowExpressionEvaluator:
+    """Recursive per-row expression interpreter."""
+
+    def __init__(self, engine: "RowEngine"):
+        self.engine = engine
+        self._like_cache: dict[str, re.Pattern] = {}
+
+    def evaluate(self, expr: ast.Expr, row: Row) -> Any:
+        if isinstance(expr, ast.ColumnRef):
+            return row[expr.resolved or expr.display]
+        if isinstance(expr, ast.Literal):
+            return expr.value
+        if isinstance(expr, ast.BinaryOp):
+            return self._binary(expr, row)
+        if isinstance(expr, ast.UnaryOp):
+            value = self.evaluate(expr.operand, row)
+            if expr.op == "not":
+                return (not value) if value is not None else None
+            return -value if value is not None else None
+        if isinstance(expr, ast.CaseWhen):
+            for condition, result in expr.whens:
+                if self.evaluate(condition, row):
+                    return self.evaluate(result, row)
+            if expr.else_value is not None:
+                return self.evaluate(expr.else_value, row)
+            return 0
+        if isinstance(expr, ast.Cast):
+            value = self.evaluate(expr.operand, row)
+            if value is None:
+                return None
+            if expr.otype == LogicalType.INT:
+                return int(value)
+            if expr.otype == LogicalType.FLOAT:
+                return float(value)
+            return value
+        if isinstance(expr, ast.LikeExpr):
+            value = self.evaluate(expr.operand, row)
+            if value is None:
+                return False
+            pattern = self._like_cache.setdefault(expr.pattern,
+                                                  _like_to_regex(expr.pattern))
+            matched = bool(pattern.match(value))
+            return not matched if expr.negated else matched
+        if isinstance(expr, ast.Between):
+            value = self.evaluate(expr.operand, row)
+            low = self.evaluate(expr.low, row)
+            high = self.evaluate(expr.high, row)
+            if value is None:
+                return False
+            result = low <= value <= high
+            return not result if expr.negated else result
+        if isinstance(expr, ast.InList):
+            value = self.evaluate(expr.operand, row)
+            items = [self.evaluate(item, row) for item in expr.items]
+            result = value in items
+            return not result if expr.negated else result
+        if isinstance(expr, ast.InSubquery):
+            value = self.evaluate(expr.operand, row)
+            values = self.engine.subquery_column(expr.subplan)
+            result = value in values
+            return not result if expr.negated else result
+        if isinstance(expr, ast.ExistsSubquery):
+            rows = self.engine.subquery_rows(expr.subplan)
+            result = len(rows) > 0
+            return not result if expr.negated else result
+        if isinstance(expr, ast.ScalarSubquery):
+            return self.engine.subquery_scalar(expr.subplan)
+        if isinstance(expr, ast.ExtractExpr):
+            value = self.evaluate(expr.operand, row)
+            date = np.datetime64(int(value), "ns").astype("datetime64[D]")
+            text = str(date)
+            return {"year": int(text[0:4]), "month": int(text[5:7]),
+                    "day": int(text[8:10])}[expr.field]
+        if isinstance(expr, ast.SubstringExpr):
+            value = self.evaluate(expr.operand, row)
+            start = int(self.evaluate(expr.start, row)) - 1
+            if expr.length is None:
+                return value[start:]
+            return value[start:start + int(self.evaluate(expr.length, row))]
+        if isinstance(expr, ast.IsNull):
+            value = self.evaluate(expr.operand, row)
+            result = value is None
+            return not result if expr.negated else result
+        if isinstance(expr, ast.PredictExpr):
+            model = self.engine.models.get(expr.model_name)
+            if model is None:
+                raise ExecutionError(f"unknown model {expr.model_name!r}")
+            args = [self.evaluate(arg, row) for arg in expr.args]
+            return model(args)
+        if isinstance(expr, ast.FuncCall):
+            return self._function(expr, row)
+        raise UnsupportedOperationError(
+            f"row engine cannot evaluate {type(expr).__name__}"
+        )
+
+    def _binary(self, expr: ast.BinaryOp, row: Row) -> Any:
+        op = expr.op
+        if op == "and":
+            return bool(self.evaluate(expr.left, row)) and bool(
+                self.evaluate(expr.right, row))
+        if op == "or":
+            return bool(self.evaluate(expr.left, row)) or bool(
+                self.evaluate(expr.right, row))
+        left = self.evaluate(expr.left, row)
+        right = self.evaluate(expr.right, row)
+        if left is None or right is None:
+            return False if op in ("=", "<>", "<", "<=", ">", ">=") else None
+        if op == "=":
+            return left == right
+        if op == "<>":
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            return left / right
+        if op == "%":
+            return left % right
+        raise UnsupportedOperationError(f"row engine: unsupported operator {op!r}")
+
+    def _function(self, expr: ast.FuncCall, row: Row) -> Any:
+        name = expr.name.lower()
+        args = [self.evaluate(arg, row) for arg in expr.args]
+        if name == "abs":
+            return abs(args[0])
+        if name == "round":
+            return round(args[0])
+        if name == "sqrt":
+            return math.sqrt(args[0])
+        if name == "length":
+            return len(args[0])
+        raise UnsupportedOperationError(f"row engine: unsupported function {name!r}")
+
+
+class RowEngine:
+    """Executes frontend physical plans one row at a time."""
+
+    def __init__(self, dataframes: dict[str, DataFrame],
+                 models: Optional[dict[str, Callable]] = None):
+        self.dataframes = {name.lower(): frame for name, frame in dataframes.items()}
+        self.models = models or {}
+        self.evaluator = RowExpressionEvaluator(self)
+        self._subquery_cache: dict[int, list[Row]] = {}
+
+    # -- public API -----------------------------------------------------------
+
+    def execute(self, plan: phys.PhysicalNode) -> list[Row]:
+        return list(self._execute(plan))
+
+    def execute_to_dataframe(self, plan: phys.PhysicalNode) -> DataFrame:
+        rows = self.execute(plan)
+        names = [f.name for f in plan.schema()]
+        data: dict[str, list] = {name: [] for name in names}
+        for row in rows:
+            for name in names:
+                data[name].append(row[name])
+        columns = {}
+        for field in plan.schema():
+            values = data[field.name]
+            columns[field.name] = self._column_array(values, field.ltype)
+        return DataFrame(columns)
+
+    @staticmethod
+    def _column_array(values: list, ltype: LogicalType) -> np.ndarray:
+        if ltype == LogicalType.DATE:
+            return np.array([np.datetime64(int(v), "ns") if v is not None else
+                             np.datetime64("NaT") for v in values],
+                            dtype="datetime64[ns]").astype("datetime64[D]")
+        if ltype == LogicalType.STRING:
+            return np.array(["" if v is None else v for v in values], dtype=object)
+        if ltype == LogicalType.FLOAT:
+            return np.array([np.nan if v is None else float(v) for v in values],
+                            dtype=np.float64)
+        if ltype == LogicalType.BOOL:
+            return np.array([bool(v) for v in values], dtype=bool)
+        return np.array([0 if v is None else int(v) for v in values], dtype=np.int64)
+
+    # -- subquery support --------------------------------------------------------
+
+    def subquery_rows(self, subplan: phys.PhysicalNode) -> list[Row]:
+        key = id(subplan)
+        if key not in self._subquery_cache:
+            self._subquery_cache[key] = self.execute(subplan)
+        return self._subquery_cache[key]
+
+    def subquery_column(self, subplan: phys.PhysicalNode) -> set:
+        rows = self.subquery_rows(subplan)
+        name = subplan.schema()[0].name
+        return {row[name] for row in rows}
+
+    def subquery_scalar(self, subplan: phys.PhysicalNode) -> Any:
+        rows = self.subquery_rows(subplan)
+        if not rows:
+            return None
+        name = subplan.schema()[0].name
+        return rows[0][name]
+
+    # -- operators -------------------------------------------------------------------
+
+    def _execute(self, plan: phys.PhysicalNode) -> Iterable[Row]:
+        if isinstance(plan, phys.PhysicalScan):
+            return self._scan(plan)
+        if isinstance(plan, phys.PhysicalFilter):
+            return self._filter(plan)
+        if isinstance(plan, phys.PhysicalProject):
+            return self._project(plan)
+        if isinstance(plan, phys.PhysicalHashJoin):
+            return self._hash_join(plan)
+        if isinstance(plan, phys.PhysicalNestedLoopJoin):
+            return self._nested_loop_join(plan)
+        if isinstance(plan, phys.PhysicalHashAggregate):
+            return self._aggregate(plan)
+        if isinstance(plan, phys.PhysicalSort):
+            return self._sort(plan)
+        if isinstance(plan, phys.PhysicalLimit):
+            return self.execute(plan.child)[: plan.count]
+        if isinstance(plan, phys.PhysicalDistinct):
+            return self._distinct(plan)
+        if isinstance(plan, phys.PhysicalRename):
+            return self._rename(plan)
+        raise UnsupportedOperationError(
+            f"row engine cannot execute {type(plan).__name__}"
+        )
+
+    def _scan(self, plan: phys.PhysicalScan) -> list[Row]:
+        frame = self.dataframes.get(plan.table.lower())
+        if frame is None:
+            raise ExecutionError(f"row engine: unknown table {plan.table!r}")
+        columns = []
+        for field in plan.fields:
+            base = field.name.split(".", 1)[1] if "." in field.name else field.name
+            values = frame[base]
+            if values.dtype.kind == "M":
+                values = values.astype("datetime64[ns]").astype(np.int64)
+            columns.append((field.name, values))
+        count = frame.num_rows
+        return [
+            {name: values[i].item() if hasattr(values[i], "item") else values[i]
+             for name, values in columns}
+            for i in range(count)
+        ]
+
+    def _filter(self, plan: phys.PhysicalFilter) -> list[Row]:
+        return [row for row in self._execute(plan.child)
+                if self.evaluator.evaluate(plan.condition, row)]
+
+    def _project(self, plan: phys.PhysicalProject) -> list[Row]:
+        out = []
+        for row in self._execute(plan.child):
+            out.append({
+                name: self.evaluator.evaluate(expr, row)
+                for expr, name in zip(plan.exprs, plan.names)
+            })
+        return out
+
+    def _hash_join(self, plan: phys.PhysicalHashJoin) -> list[Row]:
+        left_rows = self.execute(plan.left)
+        right_rows = self.execute(plan.right)
+        build: dict[tuple, list[Row]] = {}
+        for row in right_rows:
+            key = tuple(self.evaluator.evaluate(k, row) for k in plan.right_keys)
+            build.setdefault(key, []).append(row)
+        right_nulls = {f.name: None for f in plan.right.schema()}
+        out: list[Row] = []
+        for row in left_rows:
+            key = tuple(self.evaluator.evaluate(k, row) for k in plan.left_keys)
+            matches = build.get(key, [])
+            if plan.residual is not None and matches:
+                matches = [m for m in matches
+                           if self.evaluator.evaluate(plan.residual, {**row, **m})]
+            if plan.kind == "inner":
+                out.extend({**row, **m} for m in matches)
+            elif plan.kind == "left":
+                if matches:
+                    out.extend({**row, **m} for m in matches)
+                else:
+                    out.append({**row, **right_nulls})
+            elif plan.kind == "semi":
+                if matches:
+                    out.append(row)
+            elif plan.kind == "anti":
+                if not matches:
+                    out.append(row)
+            else:
+                raise UnsupportedOperationError(f"join kind {plan.kind!r}")
+        return out
+
+    def _nested_loop_join(self, plan: phys.PhysicalNestedLoopJoin) -> list[Row]:
+        left_rows = self.execute(plan.left)
+        right_rows = self.execute(plan.right)
+        out: list[Row] = []
+        for left_row in left_rows:
+            matches = []
+            for right_row in right_rows:
+                combined = {**left_row, **right_row}
+                if plan.condition is None or self.evaluator.evaluate(plan.condition,
+                                                                     combined):
+                    matches.append(combined)
+            if plan.kind in ("inner", "cross"):
+                out.extend(matches)
+            elif plan.kind == "semi" and matches:
+                out.append(left_row)
+            elif plan.kind == "anti" and not matches:
+                out.append(left_row)
+        return out
+
+    def _aggregate(self, plan: phys.PhysicalHashAggregate) -> list[Row]:
+        rows = self.execute(plan.child)
+        groups: dict[tuple, list[Row]] = {}
+        keys_of_group: dict[tuple, list] = {}
+        for row in rows:
+            key = tuple(self.evaluator.evaluate(expr, row) for expr in plan.group_exprs)
+            groups.setdefault(key, []).append(row)
+            keys_of_group.setdefault(key, list(key))
+        if not plan.group_exprs and not groups:
+            groups[()] = []
+            keys_of_group[()] = []
+        out: list[Row] = []
+        for key, group_rows in groups.items():
+            row_out: Row = {}
+            for name, value in zip(plan.group_names, keys_of_group[key]):
+                row_out[name] = value
+            for call in plan.aggregates:
+                row_out[call.output_name] = self._aggregate_value(call, group_rows)
+            out.append(row_out)
+        return out
+
+    def _aggregate_value(self, call: AggregateCall, rows: list[Row]) -> Any:
+        if call.func == "count" and call.expr is None:
+            return len(rows)
+        values = [self.evaluator.evaluate(call.expr, row) for row in rows]
+        values = [v for v in values if v is not None]
+        if call.distinct:
+            values = list(set(values))
+        if call.func == "count":
+            return len(values)
+        if not values:
+            return None
+        if call.func == "sum":
+            return sum(values)
+        if call.func == "avg":
+            return sum(values) / len(values)
+        if call.func == "min":
+            return min(values)
+        if call.func == "max":
+            return max(values)
+        raise UnsupportedOperationError(f"aggregate {call.func!r}")
+
+    def _sort(self, plan: phys.PhysicalSort) -> list[Row]:
+        rows = self.execute(plan.child)
+        # Stable sort from the least significant key to the most significant.
+        for expr, ascending in reversed(plan.keys):
+            rows.sort(key=lambda row: self.evaluator.evaluate(expr, row),
+                      reverse=not ascending)
+        return rows
+
+    def _distinct(self, plan: phys.PhysicalDistinct) -> list[Row]:
+        names = plan.field_names()
+        seen = set()
+        out = []
+        for row in self._execute(plan.child):
+            key = tuple(row[name] for name in names)
+            if key not in seen:
+                seen.add(key)
+                out.append(row)
+        return out
+
+    def _rename(self, plan: phys.PhysicalRename) -> list[Row]:
+        child_names = plan.child.field_names()
+        output_names = [f.name for f in plan.output_fields]
+        out = []
+        for row in self._execute(plan.child):
+            out.append({new: row[old] for old, new in zip(child_names, output_names)})
+        return out
+
+
+def run_sql(sql: str, dataframes: dict[str, DataFrame],
+            models: Optional[dict[str, Callable]] = None) -> DataFrame:
+    """Convenience: run ``sql`` through the shared frontend on the row engine."""
+    from repro.frontend import Catalog, sql_to_physical
+
+    catalog = Catalog()
+    for name, frame in dataframes.items():
+        catalog.register(name, frame)
+    plan = sql_to_physical(sql, catalog)
+    return RowEngine(dataframes, models).execute_to_dataframe(plan)

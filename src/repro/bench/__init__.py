@@ -1,0 +1,7 @@
+"""Benchmark harness helpers shared by the ``benchmarks/`` suite."""
+
+from repro.bench.harness import BenchResult, time_rowengine, time_tqp, tpch_session
+from repro.bench.reporting import figure_table, series_dict
+
+__all__ = ["BenchResult", "figure_table", "series_dict", "time_rowengine",
+           "time_tqp", "tpch_session"]

@@ -1,0 +1,96 @@
+"""Shared benchmark harness.
+
+Implements the paper's measurement protocol: compile once, run several warm-up
+iterations, then report the **median** execution time of the measured runs
+(paper §2.3 uses the median of 5 runs after 5 warm-ups).  For the simulated
+devices (cuda / wasm) the reported time comes from the documented cost models;
+the result tables always say which numbers are measured and which simulated.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import statistics
+import time
+from typing import Callable, Optional
+
+from repro.baselines import RowEngine
+from repro.core.session import TQPSession
+from repro.dataframe import DataFrame
+from repro.datasets import tpch
+from repro.frontend import sql_to_physical
+
+#: Session/table cache so several benchmarks can share one generated dataset.
+_TPCH_CACHE: dict[tuple[float, int], tuple[TQPSession, dict[str, DataFrame]]] = {}
+
+
+def tpch_session(scale_factor: float = 0.01, seed: int = 19920101
+                 ) -> tuple[TQPSession, dict[str, DataFrame]]:
+    """A TQP session with the TPC-H tables registered (cached per SF/seed)."""
+    key = (scale_factor, seed)
+    if key not in _TPCH_CACHE:
+        tables = tpch.generate_tables(scale_factor=scale_factor, seed=seed)
+        session = TQPSession()
+        for name, frame in tables.items():
+            session.register(name, frame)
+        _TPCH_CACHE[key] = (session, tables)
+    return _TPCH_CACHE[key]
+
+
+@dataclasses.dataclass
+class BenchResult:
+    """Timing of one (system, query) cell."""
+
+    system: str
+    backend: str
+    device: str
+    simulated: bool
+    times_s: list[float]
+    result: DataFrame
+
+    @property
+    def median_s(self) -> float:
+        return statistics.median(self.times_s)
+
+    @property
+    def median_ms(self) -> float:
+        return self.median_s * 1e3
+
+
+def time_tqp(session: TQPSession, sql: str, backend: str = "torchscript",
+             device: str = "cpu", runs: int = 5, warmup: int = 2,
+             profile: bool = False) -> BenchResult:
+    """Compile ``sql`` once and measure ``runs`` executions after ``warmup``."""
+    query = session.compile(sql, backend=backend, device=device)
+    inputs = session.prepare_inputs(query.executor)
+    for _ in range(warmup):
+        query.executor.execute(inputs, profile=profile)
+    times, last = [], None
+    for _ in range(runs):
+        outcome = query.executor.execute(inputs, profile=profile)
+        times.append(outcome.reported_s)
+        last = outcome
+    return BenchResult(
+        system=f"TQP-{device.upper()}" if device != "cpu" else "TQP-CPU",
+        backend=backend, device=device,
+        simulated=query.executor.device.is_simulated,
+        times_s=times, result=last.to_dataframe(),
+    )
+
+
+def time_rowengine(session: TQPSession, tables: dict[str, DataFrame], sql: str,
+                   runs: int = 1, warmup: int = 0,
+                   models: Optional[dict[str, Callable]] = None,
+                   label: str = "RowEngine (Spark-CPU stand-in)") -> BenchResult:
+    """Measure the row-at-a-time baseline on the same physical plan."""
+    plan = sql_to_physical(sql, session.catalog)
+    engine = RowEngine(tables, models=models)
+    for _ in range(warmup):
+        engine.execute(plan)
+    times, frame = [], None
+    for _ in range(runs):
+        start = time.perf_counter()
+        frame = engine.execute_to_dataframe(plan)
+        times.append(time.perf_counter() - start)
+    return BenchResult(system=label, backend="row-interpreter", device="cpu",
+                       simulated=False, times_s=times, result=frame)

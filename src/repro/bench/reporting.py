@@ -1,0 +1,31 @@
+"""Benchmark result formatting: the rows/series the paper's figures report."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bench.harness import BenchResult
+
+
+def figure_table(title: str, results: Sequence[BenchResult],
+                 baseline: BenchResult | None = None) -> str:
+    """Render a figure's series as a text table with speedups vs. a baseline."""
+    lines = [title, "=" * len(title),
+             f"{'system':<34} {'backend':<14} {'time ms':>12} {'speedup':>9}  note"]
+    reference = baseline.median_s if baseline is not None else None
+    rows = ([baseline] if baseline is not None else []) + [
+        r for r in results if r is not baseline
+    ]
+    for row in rows:
+        speedup = ""
+        if reference is not None and row.median_s > 0:
+            speedup = f"{reference / row.median_s:>8.1f}x"
+        note = "simulated time" if row.simulated else "measured"
+        lines.append(f"{row.system:<34} {row.backend:<14} {row.median_ms:>12.2f} "
+                     f"{speedup:>9}  {note}")
+    return "\n".join(lines)
+
+
+def series_dict(results: Sequence[BenchResult]) -> dict[str, float]:
+    """Figure series as {system: median_ms} (handy for plotting or asserts)."""
+    return {r.system: r.median_ms for r in results}

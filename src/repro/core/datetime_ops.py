@@ -1,0 +1,46 @@
+"""Calendar arithmetic over epoch-nanosecond date tensors.
+
+Dates are stored as int64 epoch nanoseconds (paper §2.1).  ``EXTRACT`` is
+implemented with the civil-from-days algorithm (Howard Hinnant's
+``days_from_civil`` inverse) so it stays entirely inside the tensor op
+vocabulary and can be traced into compiled graphs.
+"""
+
+from __future__ import annotations
+
+from repro.tensor import Tensor, ops
+
+NS_PER_DAY = 86_400_000_000_000
+
+
+def _civil_from_days(days: Tensor) -> tuple[Tensor, Tensor, Tensor]:
+    """Return (year, month, day) tensors from days-since-epoch."""
+    z = ops.add(days, 719468)
+    era = ops.floordiv(z, 146097)
+    doe = ops.sub(z, ops.mul(era, 146097))
+    yoe = ops.floordiv(
+        ops.add(ops.sub(doe, ops.floordiv(doe, 1460)),
+                ops.sub(ops.floordiv(doe, 36524), ops.floordiv(doe, 146096))),
+        365,
+    )
+    y = ops.add(yoe, ops.mul(era, 400))
+    doy = ops.sub(doe, ops.add(ops.mul(yoe, 365),
+                               ops.sub(ops.floordiv(yoe, 4), ops.floordiv(yoe, 100))))
+    mp = ops.floordiv(ops.add(ops.mul(doy, 5), 2), 153)
+    day = ops.add(ops.sub(doy, ops.floordiv(ops.add(ops.mul(mp, 153), 2), 5)), 1)
+    month = ops.where(ops.lt(mp, 10), ops.add(mp, 3), ops.sub(mp, 9))
+    year = ops.add(y, ops.cast(ops.le(month, 2), "int64"))
+    return year, month, day
+
+
+def extract_field(date_ns: Tensor, field: str) -> Tensor:
+    """``EXTRACT(field FROM date_column)`` for field in {year, month, day}."""
+    days = ops.floordiv(date_ns, NS_PER_DAY)
+    year, month, day = _civil_from_days(days)
+    if field == "year":
+        return year
+    if field == "month":
+        return month
+    if field == "day":
+        return day
+    raise ValueError(f"unsupported EXTRACT field {field!r}")

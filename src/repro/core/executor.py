@@ -1,0 +1,224 @@
+"""Execution layer: operator plan → Executor for a backend/device (paper §2.2, layer 4).
+
+The Executor is the runnable artifact TQP produces for a query:
+
+* on the ``pytorch`` backend it dispatches the operator plan eagerly, op by op;
+* on the ``torchscript`` backend the whole query (relational operators,
+  expressions, runtime subqueries and any embedded ML models) is traced into a
+  single tensor graph, optimized, and replayed by the graph interpreter;
+* on the ``onnx`` backend the traced graph is additionally round-tripped
+  through the ONNX-like portable format — the path used for browser/WASM
+  execution.
+
+Devices: results are always computed with real kernels; the CPU reports
+measured wall time while the simulated ``cuda`` / ``wasm`` devices report time
+from their documented cost models (see ``repro.backends``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Callable, Optional
+
+from repro.backends import BackendSpec, get_backend, get_device_model
+from repro.core.columnar import LogicalType, TensorColumn, TensorTable
+from repro.core.expressions import EvaluationContext
+from repro.core.operators import ExecutionContext, ScanOperator
+from repro.core.planner import OperatorPlan
+from repro.dataframe import DataFrame
+from repro.errors import ExecutionError
+from repro.tensor import Graph, Profiler, ScriptedProgram, Tensor, onnxlike, passes, tracing
+from repro.tensor.device import Device, parse_device
+
+
+@dataclasses.dataclass
+class ExecutionResult:
+    """Result of one query execution."""
+
+    table: TensorTable
+    measured_s: float
+    reported_s: float
+    backend: str
+    device: str
+    profile: Optional[Profiler] = None
+
+    def to_dataframe(self) -> DataFrame:
+        return self.table.to_dataframe()
+
+
+class Executor:
+    """Runs an operator plan on a chosen backend and device."""
+
+    def __init__(self, plan: OperatorPlan, backend: BackendSpec | str = "pytorch",
+                 device: Device | str = "cpu",
+                 models: Optional[dict[str, Callable]] = None):
+        self.plan = plan
+        self.backend = get_backend(backend) if isinstance(backend, str) else backend
+        self.device = parse_device(device)
+        self.models = models or {}
+        self.cost_model = get_device_model(self.device)
+        self._program: Optional[ScriptedProgram] = None
+        self._program_layout: Optional[list] = None
+        self._input_layout: Optional[list[tuple[str, str]]] = None
+        if self.device.kind == "wasm" and self.backend.name != "onnx":
+            raise ExecutionError(
+                "the wasm device requires the 'onnx' backend (browser execution "
+                "goes through the portable graph format)"
+            )
+
+    # -- input preparation --------------------------------------------------
+
+    def prepare_inputs(self, dataframes: dict[str, DataFrame]) -> dict[str, TensorTable]:
+        """Convert the registered DataFrames into tensor tables, per scan.
+
+        Only the columns each scan actually needs are converted (strings and
+        dates require an encoding pass; numeric columns are zero-copy).
+        The result is keyed by scan alias with fully qualified column names.
+        """
+        inputs: dict[str, TensorTable] = {}
+        for scan in self.plan.scans:
+            if scan.table not in dataframes:
+                raise ExecutionError(f"no registered table named {scan.table!r}")
+            frame = dataframes[scan.table]
+            columns = {}
+            for field in scan.fields:
+                base = field.name.split(".", 1)[1] if "." in field.name else field.name
+                columns[field.name] = TensorColumn.from_numpy(frame[base])
+            inputs[scan.alias] = TensorTable(columns)
+        return inputs
+
+    # -- execution ------------------------------------------------------------
+
+    def execute(self, inputs: dict[str, TensorTable], profile: bool = False
+                ) -> ExecutionResult:
+        """Run the query over prepared inputs and return the result."""
+        want_profile = profile or self.device.is_simulated
+        profiler = Profiler(name=f"{self.backend.name}-{self.device}") if want_profile else None
+
+        if self.backend.strategy == "eager":
+            run = self._run_eager
+        else:
+            run = self._run_graph
+
+        if profiler is not None:
+            with profiler:
+                start = time.perf_counter()
+                table = run(inputs)
+                measured = time.perf_counter() - start
+        else:
+            start = time.perf_counter()
+            table = run(inputs)
+            measured = time.perf_counter() - start
+
+        reported = self.cost_model.report_time(measured, profiler)
+        return ExecutionResult(table=table, measured_s=measured, reported_s=reported,
+                               backend=self.backend.name, device=str(self.device),
+                               profile=profiler)
+
+    # -- eager (PyTorch-like) path ----------------------------------------------
+
+    def _execution_context(self, inputs: dict[str, TensorTable]) -> ExecutionContext:
+        moved = {alias: table.to(self.device) for alias, table in inputs.items()}
+        ctx = ExecutionContext(moved, device=self.device)
+        ctx.eval_ctx = EvaluationContext(
+            device=self.device,
+            subquery_runner=lambda subplan: subplan.execute(ctx),
+            models=self.models,
+        )
+        return ctx
+
+    def _run_eager(self, inputs: dict[str, TensorTable]) -> TensorTable:
+        ctx = self._execution_context(inputs)
+        return self.plan.root.execute(ctx)
+
+    # -- traced (TorchScript / ONNX-like) path ------------------------------------
+
+    def _flatten_inputs(self, inputs: dict[str, TensorTable]
+                        ) -> tuple[list[Tensor], list[tuple[str, str]]]:
+        tensors: list[Tensor] = []
+        layout: list[tuple[str, str]] = []
+        for alias in sorted(inputs):
+            table = inputs[alias]
+            for name, column in table.columns():
+                tensors.append(column.tensor)
+                layout.append((alias, name))
+        return tensors, layout
+
+    def _rebuild_inputs(self, tensors: list[Tensor], layout: list[tuple[str, str]],
+                        reference: dict[str, TensorTable]) -> dict[str, TensorTable]:
+        rebuilt: dict[str, dict[str, TensorColumn]] = {}
+        for tensor, (alias, name) in zip(tensors, layout):
+            ltype = reference[alias].column(name).ltype
+            rebuilt.setdefault(alias, {})[name] = TensorColumn(tensor, ltype)
+        return {alias: TensorTable(columns) for alias, columns in rebuilt.items()}
+
+    def compile_program(self, inputs: dict[str, TensorTable]) -> ScriptedProgram:
+        """Trace the whole query into a tensor graph for the graph backends.
+
+        Like ``torch.jit.trace``, data-dependent sizes observed during tracing
+        (e.g. join match counts) are baked into the program; the compiled
+        program is therefore tied to the dataset it was traced on, which is
+        how the compiled queries are used in the paper's benchmarks.
+        """
+        example_tensors, layout = self._flatten_inputs(inputs)
+        output_columns: list[tuple[str, LogicalType, bool]] = []
+
+        def traced_query(*tensors: Tensor) -> list[Tensor]:
+            rebuilt = self._rebuild_inputs(list(tensors), layout, inputs)
+            ctx = self._execution_context(rebuilt)
+            result = self.plan.root.execute(ctx)
+            flat: list[Tensor] = []
+            output_columns.clear()
+            for name, column in result.columns():
+                flat.append(column.tensor)
+                has_valid = column.valid is not None
+                output_columns.append((name, column.ltype, has_valid))
+                if has_valid:
+                    flat.append(column.valid)
+            return flat
+
+        graph = tracing.trace(traced_query, example_tensors, name="tqp_query")
+        if self.backend.optimize_graph:
+            graph = passes.optimize(graph)
+        if self.backend.serialize:
+            graph = onnxlike.loads(onnxlike.dumps(graph))
+        program = ScriptedProgram(graph, self.backend.per_node_overhead_s)
+        self._program = program
+        self._program_layout = list(output_columns)
+        self._input_layout = layout
+        return program
+
+    def _run_graph(self, inputs: dict[str, TensorTable]) -> TensorTable:
+        if self._program is None:
+            self.compile_program(inputs)
+        tensors, layout = self._flatten_inputs(inputs)
+        if layout != self._input_layout:
+            raise ExecutionError(
+                "compiled program does not match the provided inputs; "
+                "re-create the executor or call compile_program() again"
+            )
+        outputs = self._program.run(tensors, device=self.device)
+        columns: dict[str, TensorColumn] = {}
+        cursor = 0
+        for name, ltype, has_valid in self._program_layout:
+            tensor = outputs[cursor]
+            cursor += 1
+            valid = None
+            if has_valid:
+                valid = outputs[cursor]
+                cursor += 1
+            columns[name] = TensorColumn(tensor, ltype, valid)
+        return TensorTable(columns)
+
+    # -- artifacts ------------------------------------------------------------------
+
+    def executor_graph(self, inputs: dict[str, TensorTable]) -> Graph:
+        """The traced tensor graph of this query (the Figure-4 artifact)."""
+        if self._program is None:
+            self.compile_program(inputs)
+        return self._program.graph
+
+    def export_onnx(self, inputs: dict[str, TensorTable], path: str) -> None:
+        """Export the traced query to the ONNX-like portable format."""
+        onnxlike.save(self.executor_graph(inputs), path)

@@ -1,0 +1,446 @@
+"""Compilation of relational expressions into tensor programs.
+
+`evaluate` walks a resolved expression tree and produces tensors using only
+the op vocabulary of :mod:`repro.tensor.ops` (plus the string/date helpers in
+:mod:`repro.core.strings` / :mod:`repro.core.datetime_ops`).  When a trace is
+active, everything it does is captured into the query's tensor graph — this is
+exactly how the paper lowers filters, case expressions, predicates and
+``PREDICT`` calls into a single end-to-end tensor program.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.core import datetime_ops, strings
+from repro.core.columnar import LogicalType, TensorColumn, TensorTable, encode_strings
+from repro.errors import ExecutionError, UnsupportedOperationError
+from repro.frontend import ast
+from repro.tensor import Tensor, ops
+from repro.tensor.device import Device, parse_device
+
+
+@dataclasses.dataclass
+class ExprValue:
+    """The result of evaluating an expression over a table.
+
+    ``tensor`` is ``(n,)`` (or ``(n, m)`` for strings) for per-row values, or a
+    0-d / ``(m,)`` tensor for scalars (``is_scalar=True``).  ``valid`` is an
+    optional per-row validity mask (``None`` = all valid).
+    """
+
+    tensor: Tensor
+    ltype: LogicalType
+    is_scalar: bool = False
+    valid: Optional[Tensor] = None
+
+
+class EvaluationContext:
+    """Runtime services expressions may need.
+
+    Attributes:
+        device: device every produced tensor should live on.
+        subquery_runner: callable executing an (uncorrelated) physical subplan
+            and returning its result :class:`TensorTable`.
+        models: mapping of model name → compiled predict function
+            ``f(list[ExprValue], num_rows) -> ExprValue`` used by ``PREDICT``.
+    """
+
+    def __init__(self, device: Device | str = "cpu",
+                 subquery_runner: Optional[Callable[[Any], TensorTable]] = None,
+                 models: Optional[dict[str, Callable]] = None):
+        self.device = parse_device(device)
+        self.subquery_runner = subquery_runner
+        self.models = models or {}
+        self._subquery_cache: dict[int, TensorTable] = {}
+
+    def run_subquery(self, subplan: Any) -> TensorTable:
+        if self.subquery_runner is None:
+            raise ExecutionError("this query requires a subquery runner")
+        key = id(subplan)
+        if key not in self._subquery_cache:
+            self._subquery_cache[key] = self.subquery_runner(subplan)
+        return self._subquery_cache[key]
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+_LTYPE_TO_DTYPE = {
+    LogicalType.INT: "int64",
+    LogicalType.FLOAT: "float64",
+    LogicalType.BOOL: "bool",
+    LogicalType.DATE: "int64",
+}
+
+
+def to_column(value: ExprValue, num_rows: int) -> TensorColumn:
+    """Materialize an expression value as a column of ``num_rows`` rows."""
+    tensor = value.tensor
+    if value.is_scalar:
+        if value.ltype == LogicalType.STRING:
+            width = tensor.shape[-1] if tensor.ndim else 1
+            tensor = ops.mul(ops.ones((num_rows, width), dtype="int32",
+                                      device=tensor.device),
+                             ops.cast(tensor, "int32"))
+            tensor = ops.cast(tensor, "int32")
+        else:
+            dtype = _LTYPE_TO_DTYPE[value.ltype]
+            tensor = ops.add(
+                ops.zeros((num_rows,), dtype=dtype, device=tensor.device),
+                ops.cast(tensor, dtype),
+            )
+    return TensorColumn(tensor, value.ltype, value.valid)
+
+
+def as_mask(value: ExprValue, num_rows: int) -> Tensor:
+    """Convert a boolean expression value into a filter mask (NULL → False)."""
+    if value.ltype != LogicalType.BOOL:
+        raise ExecutionError("filter condition must be boolean")
+    tensor = value.tensor
+    if value.is_scalar:
+        tensor = ops.logical_and(
+            ops.full((num_rows,), True, dtype="bool", device=tensor.device), tensor
+        )
+    if value.valid is not None:
+        tensor = ops.logical_and(tensor, value.valid)
+    return tensor
+
+
+def _combine_valid(*values: ExprValue) -> Optional[Tensor]:
+    masks = [v.valid for v in values if v.valid is not None]
+    if not masks:
+        return None
+    combined = masks[0]
+    for mask in masks[1:]:
+        combined = ops.logical_and(combined, mask)
+    return combined
+
+
+def _numeric_binary(op_name: str, left: ExprValue, right: ExprValue,
+                    otype: LogicalType) -> ExprValue:
+    fn = getattr(ops, op_name)
+    result = fn(left.tensor, right.tensor)
+    if otype == LogicalType.FLOAT:
+        result = ops.cast(result, "float64")
+    return ExprValue(result, otype, left.is_scalar and right.is_scalar,
+                     _combine_valid(left, right))
+
+
+_ARITHMETIC = {"+": "add", "-": "sub", "*": "mul", "/": "div", "%": "mod"}
+_COMPARISON = {"=": "eq", "<>": "ne", "<": "lt", "<=": "le", ">": "gt", ">=": "ge"}
+
+
+# ---------------------------------------------------------------------------
+# the evaluator
+# ---------------------------------------------------------------------------
+
+
+def evaluate(expr: ast.Expr, table: TensorTable, ctx: EvaluationContext) -> ExprValue:
+    """Evaluate a resolved expression over ``table``."""
+    if isinstance(expr, ast.ColumnRef):
+        column = table.column(expr.resolved or expr.display)
+        return ExprValue(column.tensor, column.ltype, False, column.valid)
+
+    if isinstance(expr, ast.Literal):
+        return _evaluate_literal(expr, ctx)
+
+    if isinstance(expr, ast.IntervalLiteral):
+        raise UnsupportedOperationError(
+            "INTERVAL literals may only be combined with DATE literals"
+        )
+
+    if isinstance(expr, ast.BinaryOp):
+        return _evaluate_binary(expr, table, ctx)
+
+    if isinstance(expr, ast.UnaryOp):
+        operand = evaluate(expr.operand, table, ctx)
+        if expr.op == "not":
+            return ExprValue(ops.logical_not(operand.tensor), LogicalType.BOOL,
+                             operand.is_scalar, operand.valid)
+        return ExprValue(ops.neg(operand.tensor), operand.ltype,
+                         operand.is_scalar, operand.valid)
+
+    if isinstance(expr, ast.CaseWhen):
+        return _evaluate_case(expr, table, ctx)
+
+    if isinstance(expr, ast.Cast):
+        return _evaluate_cast(expr, table, ctx)
+
+    if isinstance(expr, ast.LikeExpr):
+        operand = evaluate(expr.operand, table, ctx)
+        if operand.ltype != LogicalType.STRING:
+            raise ExecutionError("LIKE requires a string operand")
+        matched = strings.like(operand.tensor, expr.pattern)
+        if expr.negated:
+            matched = ops.logical_not(matched)
+        return ExprValue(matched, LogicalType.BOOL, operand.is_scalar, operand.valid)
+
+    if isinstance(expr, ast.Between):
+        operand = evaluate(expr.operand, table, ctx)
+        low = evaluate(expr.low, table, ctx)
+        high = evaluate(expr.high, table, ctx)
+        result = ops.logical_and(ops.ge(operand.tensor, low.tensor),
+                                 ops.le(operand.tensor, high.tensor))
+        if expr.negated:
+            result = ops.logical_not(result)
+        return ExprValue(result, LogicalType.BOOL, operand.is_scalar,
+                         _combine_valid(operand, low, high))
+
+    if isinstance(expr, ast.InList):
+        return _evaluate_in_list(expr, table, ctx)
+
+    if isinstance(expr, ast.InSubquery):
+        return _evaluate_in_subquery(expr, table, ctx)
+
+    if isinstance(expr, ast.ExistsSubquery):
+        result_table = ctx.run_subquery(expr.subplan)
+        exists = result_table.num_rows > 0
+        value = exists if not expr.negated else not exists
+        return ExprValue(ops.tensor(value, dtype="bool", device=ctx.device),
+                         LogicalType.BOOL, True)
+
+    if isinstance(expr, ast.ScalarSubquery):
+        result_table = ctx.run_subquery(expr.subplan)
+        if result_table.num_columns != 1 or result_table.num_rows != 1:
+            raise ExecutionError("scalar subquery must produce exactly one value")
+        column = result_table.column(result_table.column_names[0])
+        scalar = ops.slice_(column.tensor, 0)
+        return ExprValue(scalar, column.ltype, True)
+
+    if isinstance(expr, ast.ExtractExpr):
+        operand = evaluate(expr.operand, table, ctx)
+        if operand.ltype != LogicalType.DATE:
+            raise ExecutionError("EXTRACT requires a date operand")
+        return ExprValue(datetime_ops.extract_field(operand.tensor, expr.field),
+                         LogicalType.INT, operand.is_scalar, operand.valid)
+
+    if isinstance(expr, ast.SubstringExpr):
+        operand = evaluate(expr.operand, table, ctx)
+        start = _require_int_literal(expr.start, "SUBSTRING start")
+        length = (_require_int_literal(expr.length, "SUBSTRING length")
+                  if expr.length is not None else None)
+        return ExprValue(strings.substring(operand.tensor, start, length),
+                         LogicalType.STRING, operand.is_scalar, operand.valid)
+
+    if isinstance(expr, ast.IsNull):
+        operand = evaluate(expr.operand, table, ctx)
+        if operand.valid is None:
+            value = ops.full((table.num_rows,), expr.negated, dtype="bool",
+                             device=ctx.device)
+        else:
+            value = ops.logical_not(operand.valid) if not expr.negated else operand.valid
+        return ExprValue(value, LogicalType.BOOL, False)
+
+    if isinstance(expr, ast.PredictExpr):
+        return _evaluate_predict(expr, table, ctx)
+
+    if isinstance(expr, ast.FuncCall):
+        return _evaluate_scalar_function(expr, table, ctx)
+
+    raise UnsupportedOperationError(
+        f"cannot compile expression {type(expr).__name__} to a tensor program"
+    )
+
+
+# ---------------------------------------------------------------------------
+# individual expression kinds
+# ---------------------------------------------------------------------------
+
+
+def _evaluate_literal(expr: ast.Literal, ctx: EvaluationContext) -> ExprValue:
+    kind = expr.otype or expr.kind
+    if expr.value is None:
+        return ExprValue(ops.tensor(np.nan, dtype="float64", device=ctx.device),
+                         kind or LogicalType.FLOAT, True,
+                         valid=None)
+    if kind == LogicalType.STRING:
+        codes = encode_strings([expr.value])[0]
+        return ExprValue(ops.tensor(codes, device=ctx.device), LogicalType.STRING, True)
+    if kind == LogicalType.DATE:
+        return ExprValue(ops.tensor(int(expr.value), dtype="int64", device=ctx.device),
+                         LogicalType.DATE, True)
+    if kind == LogicalType.BOOL:
+        return ExprValue(ops.tensor(bool(expr.value), dtype="bool", device=ctx.device),
+                         LogicalType.BOOL, True)
+    if kind == LogicalType.INT or (kind is None and isinstance(expr.value, int)):
+        return ExprValue(ops.tensor(int(expr.value), dtype="int64", device=ctx.device),
+                         LogicalType.INT, True)
+    return ExprValue(ops.tensor(float(expr.value), dtype="float64", device=ctx.device),
+                     LogicalType.FLOAT, True)
+
+
+def _evaluate_binary(expr: ast.BinaryOp, table: TensorTable,
+                     ctx: EvaluationContext) -> ExprValue:
+    op = expr.op
+    if op in ("and", "or"):
+        left = evaluate(expr.left, table, ctx)
+        right = evaluate(expr.right, table, ctx)
+        fn = ops.logical_and if op == "and" else ops.logical_or
+        return ExprValue(fn(left.tensor, right.tensor), LogicalType.BOOL,
+                         left.is_scalar and right.is_scalar,
+                         _combine_valid(left, right))
+    left = evaluate(expr.left, table, ctx)
+    right = evaluate(expr.right, table, ctx)
+    if op in _COMPARISON:
+        if left.ltype == LogicalType.STRING or right.ltype == LogicalType.STRING:
+            return _string_comparison(op, expr, left, right)
+        result = getattr(ops, _COMPARISON[op])(left.tensor, right.tensor)
+        return ExprValue(result, LogicalType.BOOL,
+                         left.is_scalar and right.is_scalar,
+                         _combine_valid(left, right))
+    if op in _ARITHMETIC:
+        otype = expr.otype or LogicalType.FLOAT
+        return _numeric_binary(_ARITHMETIC[op], left, right, otype)
+    if op == "||":
+        raise UnsupportedOperationError("string concatenation is not supported")
+    raise UnsupportedOperationError(f"unsupported binary operator {op!r}")
+
+
+def _string_comparison(op: str, expr: ast.BinaryOp, left: ExprValue,
+                       right: ExprValue) -> ExprValue:
+    if op not in ("=", "<>"):
+        raise UnsupportedOperationError(
+            "only equality comparisons are supported for strings"
+        )
+    # literal vs column
+    if left.is_scalar != right.is_scalar:
+        column, literal_expr = ((right, expr.left) if left.is_scalar
+                                else (left, expr.right))
+        if isinstance(literal_expr, ast.Literal):
+            result = strings.equals_literal(column.tensor, str(literal_expr.value))
+        else:
+            literal = left if left.is_scalar else right
+            result = strings.equals_columns(
+                column.tensor, ops.reshape(literal.tensor, (1, literal.tensor.shape[-1]))
+            )
+        scalar = False
+    else:
+        result = strings.equals_columns(left.tensor, right.tensor)
+        scalar = left.is_scalar and right.is_scalar
+    if op == "<>":
+        result = ops.logical_not(result)
+    return ExprValue(result, LogicalType.BOOL, scalar, _combine_valid(left, right))
+
+
+def _evaluate_case(expr: ast.CaseWhen, table: TensorTable,
+                   ctx: EvaluationContext) -> ExprValue:
+    otype = expr.otype or LogicalType.FLOAT
+    if expr.else_value is not None:
+        result_value = evaluate(expr.else_value, table, ctx)
+        result = result_value.tensor
+    else:
+        dtype = _LTYPE_TO_DTYPE.get(otype, "float64")
+        result = ops.tensor(0, dtype=dtype, device=ctx.device)
+    # Apply WHEN branches from last to first so earlier branches win.
+    any_scalar = True
+    for condition, value in reversed(expr.whens):
+        cond_value = evaluate(condition, table, ctx)
+        branch_value = evaluate(value, table, ctx)
+        result = ops.where(cond_value.tensor, branch_value.tensor, result)
+        any_scalar = any_scalar and cond_value.is_scalar and branch_value.is_scalar
+    if otype == LogicalType.FLOAT:
+        result = ops.cast(result, "float64")
+    return ExprValue(result, otype, any_scalar)
+
+
+def _evaluate_cast(expr: ast.Cast, table: TensorTable,
+                   ctx: EvaluationContext) -> ExprValue:
+    operand = evaluate(expr.operand, table, ctx)
+    target = expr.otype or LogicalType.FLOAT
+    if target == LogicalType.STRING or operand.ltype == LogicalType.STRING:
+        raise UnsupportedOperationError("CAST to/from strings is not supported")
+    dtype = _LTYPE_TO_DTYPE[target]
+    return ExprValue(ops.cast(operand.tensor, dtype), target,
+                     operand.is_scalar, operand.valid)
+
+
+def _evaluate_in_list(expr: ast.InList, table: TensorTable,
+                      ctx: EvaluationContext) -> ExprValue:
+    operand = evaluate(expr.operand, table, ctx)
+    if operand.ltype == LogicalType.STRING:
+        result = None
+        for item in expr.items:
+            if not isinstance(item, ast.Literal):
+                raise UnsupportedOperationError("IN over strings requires literals")
+            this = strings.equals_literal(operand.tensor, str(item.value))
+            result = this if result is None else ops.logical_or(result, this)
+    else:
+        values = [evaluate(item, table, ctx).tensor for item in expr.items]
+        stacked = ops.stack(values) if len(values) > 1 else ops.reshape(values[0], (1,))
+        result = ops.isin(operand.tensor, stacked)
+    if expr.negated:
+        result = ops.logical_not(result)
+    return ExprValue(result, LogicalType.BOOL, operand.is_scalar, operand.valid)
+
+
+def _evaluate_in_subquery(expr: ast.InSubquery, table: TensorTable,
+                          ctx: EvaluationContext) -> ExprValue:
+    operand = evaluate(expr.operand, table, ctx)
+    result_table = ctx.run_subquery(expr.subplan)
+    if result_table.num_columns != 1:
+        raise ExecutionError("IN subquery must produce exactly one column")
+    column = result_table.column(result_table.column_names[0])
+    if operand.ltype == LogicalType.STRING:
+        if column.ltype != LogicalType.STRING:
+            raise ExecutionError("IN subquery type mismatch")
+        width = max(operand.tensor.shape[1], column.tensor.shape[1])
+        left = ops.pad2d(operand.tensor, width)
+        right = ops.pad2d(column.tensor, width)
+        # Compare every row against every subquery value: (n, k, m) equality.
+        n = left.shape[0]
+        k = right.shape[0]
+        left3 = ops.reshape(left, (n, 1, width))
+        right3 = ops.reshape(right, (1, k, width))
+        matches = ops.all_(ops.eq(left3, right3), axis=2)
+        result = ops.any_(matches, axis=1)
+    else:
+        result = ops.isin(operand.tensor, column.tensor)
+    if expr.negated:
+        result = ops.logical_not(result)
+    return ExprValue(result, LogicalType.BOOL, operand.is_scalar, operand.valid)
+
+
+def _evaluate_predict(expr: ast.PredictExpr, table: TensorTable,
+                      ctx: EvaluationContext) -> ExprValue:
+    model = ctx.models.get(expr.model_name)
+    if model is None:
+        raise ExecutionError(
+            f"PREDICT references unknown model {expr.model_name!r}; "
+            "register it on the session first"
+        )
+    args = [evaluate(arg, table, ctx) for arg in expr.args]
+    return model(args, table.num_rows)
+
+
+def _evaluate_scalar_function(expr: ast.FuncCall, table: TensorTable,
+                              ctx: EvaluationContext) -> ExprValue:
+    name = expr.name.lower()
+    args = [evaluate(arg, table, ctx) for arg in expr.args]
+    if name == "abs":
+        return ExprValue(ops.abs_(args[0].tensor), args[0].ltype,
+                         args[0].is_scalar, args[0].valid)
+    if name == "round":
+        return ExprValue(ops.round_(args[0].tensor), args[0].ltype,
+                         args[0].is_scalar, args[0].valid)
+    if name == "sqrt":
+        return ExprValue(ops.sqrt(args[0].tensor), LogicalType.FLOAT,
+                         args[0].is_scalar, args[0].valid)
+    if name in ("year", "month", "day"):
+        return ExprValue(datetime_ops.extract_field(args[0].tensor, name),
+                         LogicalType.INT, args[0].is_scalar, args[0].valid)
+    if name == "length":
+        return ExprValue(strings.row_lengths(args[0].tensor), LogicalType.INT,
+                         args[0].is_scalar, args[0].valid)
+    raise UnsupportedOperationError(f"unsupported function {expr.name!r}")
+
+
+def _require_int_literal(expr: ast.Expr, what: str) -> int:
+    if not isinstance(expr, ast.Literal) or not isinstance(expr.value, (int, np.integer)):
+        raise UnsupportedOperationError(f"{what} must be an integer literal")
+    return int(expr.value)

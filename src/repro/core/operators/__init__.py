@@ -1,0 +1,32 @@
+"""Tensor-program implementations of relational operators (planning layer output)."""
+
+from repro.core.operators.aggregate import HashAggregateOperator
+from repro.core.operators.base import ExecutionContext, TensorOperator
+from repro.core.operators.filter import FilterOperator
+from repro.core.operators.join import (
+    HashJoinOperator,
+    NestedLoopJoinOperator,
+    concat_tables,
+    merge_tables,
+)
+from repro.core.operators.misc import DistinctOperator, LimitOperator, RenameOperator
+from repro.core.operators.project import ProjectOperator
+from repro.core.operators.scan import ScanOperator
+from repro.core.operators.sort import SortOperator
+
+__all__ = [
+    "DistinctOperator",
+    "ExecutionContext",
+    "FilterOperator",
+    "HashAggregateOperator",
+    "HashJoinOperator",
+    "LimitOperator",
+    "NestedLoopJoinOperator",
+    "ProjectOperator",
+    "RenameOperator",
+    "ScanOperator",
+    "SortOperator",
+    "TensorOperator",
+    "concat_tables",
+    "merge_tables",
+]

@@ -1,0 +1,152 @@
+"""Group-by aggregation as a tensor program.
+
+Group keys are densified into integer group ids (see
+:mod:`repro.core.operators.grouping`); aggregates are then computed with
+scatter/segmented reductions (``scatter_add`` / ``scatter_min`` /
+``scatter_max`` / ``bincount``), which is the standard way of expressing
+SQL aggregation on tensor runtimes.
+"""
+
+from __future__ import annotations
+
+from repro.core.columnar import LogicalType, TensorColumn, TensorTable
+from repro.core.expressions import evaluate, to_column
+from repro.core.operators.base import ExecutionContext, TensorOperator
+from repro.core.operators.grouping import combine_ids, factorize_single
+from repro.errors import ExecutionError, UnsupportedOperationError
+from repro.frontend.ast import Expr
+from repro.frontend.logical import AggregateCall
+from repro.tensor import Tensor, ops
+
+
+class HashAggregateOperator(TensorOperator):
+    """Hash/group aggregation (SUM, AVG, MIN, MAX, COUNT, COUNT DISTINCT)."""
+
+    name = "HashAggregate"
+
+    def __init__(self, child: TensorOperator, group_exprs: list[Expr],
+                 group_names: list[str], group_types: list[LogicalType],
+                 aggregates: list[AggregateCall]):
+        super().__init__([child])
+        self.group_exprs = group_exprs
+        self.group_names = group_names
+        self.group_types = group_types
+        self.aggregates = aggregates
+
+    def describe(self) -> str:
+        return f"HashAggregate(groups={len(self.group_exprs)})"
+
+    # -- helpers ------------------------------------------------------------
+
+    @staticmethod
+    def _group_ids(key_values, num_rows: int, device) -> tuple[Tensor, int]:
+        if not key_values:
+            return ops.zeros((num_rows,), dtype="int64", device=device), 1
+        ids = [factorize_single(value) for value in key_values]
+        group_ids = combine_ids(ids)
+        if num_rows == 0:
+            return group_ids, 0
+        num_groups = int(ops.add(ops.max_(group_ids), 1).item())
+        return group_ids, num_groups
+
+    def _aggregate_column(self, call: AggregateCall, table: TensorTable,
+                          group_ids: Tensor, num_groups: int,
+                          ctx: ExecutionContext) -> TensorColumn:
+        if call.func == "count" and call.expr is None:
+            counts = ops.bincount(group_ids, minlength=num_groups)
+            return TensorColumn(ops.cast(counts, "int64"), LogicalType.INT)
+
+        value = evaluate(call.expr, table, ctx.eval_ctx)
+        column = to_column(value, table.num_rows)
+        data = column.tensor
+
+        if call.func == "count":
+            if call.distinct:
+                return TensorColumn(
+                    self._count_distinct(column, group_ids, num_groups), LogicalType.INT
+                )
+            if column.valid is not None:
+                counts = ops.scatter_add(group_ids, ops.cast(column.valid, "int64"),
+                                         size=num_groups)
+            else:
+                counts = ops.bincount(group_ids, minlength=num_groups)
+            return TensorColumn(ops.cast(counts, "int64"), LogicalType.INT)
+
+        if column.ltype == LogicalType.STRING:
+            raise UnsupportedOperationError(
+                "sum/avg/min/max over string columns are not supported"
+            )
+
+        # SQL returns NULL for sum/avg/min/max over an empty input.  With group
+        # keys every group contains at least one row, so the validity mask is
+        # only needed for the global (ungrouped) aggregate case.
+        valid = None
+        if not self.group_exprs:
+            populated = ops.bincount(group_ids, minlength=num_groups)
+            valid = ops.gt(populated, 0)
+
+        if call.func == "sum":
+            result = ops.scatter_add(group_ids, data, size=num_groups)
+            if call.output_type == LogicalType.INT:
+                result = ops.cast(result, "int64")
+            else:
+                result = ops.cast(result, "float64")
+            return TensorColumn(result, call.output_type, valid)
+
+        if call.func == "avg":
+            totals = ops.cast(ops.scatter_add(group_ids, ops.cast(data, "float64"),
+                                              size=num_groups), "float64")
+            counts = ops.bincount(group_ids, minlength=num_groups)
+            return TensorColumn(ops.div(totals, ops.cast(ops.maximum(counts, 1),
+                                                         "float64")),
+                                LogicalType.FLOAT, valid)
+
+        if call.func == "min":
+            result = ops.scatter_min(group_ids, data, size=num_groups)
+            return TensorColumn(result, call.output_type, valid)
+
+        if call.func == "max":
+            result = ops.scatter_max(group_ids, data, size=num_groups)
+            return TensorColumn(result, call.output_type, valid)
+
+        raise ExecutionError(f"unsupported aggregate function {call.func!r}")
+
+    @staticmethod
+    def _count_distinct(column: TensorColumn, group_ids: Tensor,
+                        num_groups: int) -> Tensor:
+        from repro.core.expressions import ExprValue
+
+        if column.tensor.shape[0] == 0:
+            return ops.zeros((num_groups,), dtype="int64", device=group_ids.device)
+        value_ids = factorize_single(
+            ExprValue(column.tensor, column.ltype, False, column.valid)
+        )
+        radix = ops.add(ops.max_(value_ids), 1)
+        pair_ids = ops.add(ops.mul(group_ids, radix), value_ids)
+        unique_pairs, _, _ = ops.unique(pair_ids)
+        pair_groups = ops.floordiv(unique_pairs, radix)
+        return ops.cast(ops.bincount(pair_groups, minlength=num_groups), "int64")
+
+    # -- execution ----------------------------------------------------------------
+
+    def _execute(self, ctx: ExecutionContext) -> TensorTable:
+        table = self.children[0].execute(ctx)
+        num_rows = table.num_rows
+
+        key_values = [evaluate(expr, table, ctx.eval_ctx) for expr in self.group_exprs]
+        group_ids, num_groups = self._group_ids(key_values, num_rows, table.device)
+
+        columns: dict[str, TensorColumn] = {}
+        if self.group_exprs:
+            representatives = ops.scatter_min(
+                group_ids, ops.arange(num_rows, device=group_ids.device), num_groups
+            )
+            for value, name in zip(key_values, self.group_names):
+                column = to_column(value, num_rows)
+                columns[name] = column.gather(representatives)
+
+        for call in self.aggregates:
+            columns[call.output_name] = self._aggregate_column(
+                call, table, group_ids, num_groups, ctx
+            )
+        return TensorTable(columns)

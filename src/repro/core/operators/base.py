@@ -1,0 +1,69 @@
+"""Operator-plan infrastructure: the output of TQP's planning layer.
+
+The planning layer maps every IR operator to a :class:`TensorOperator` whose
+``execute`` method is written purely in terms of tensor ops (plus the
+expression compiler).  The execution layer (see :mod:`repro.core.executor`)
+turns the resulting operator plan into an Executor for a chosen backend and
+device.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.columnar import TensorTable
+from repro.core.expressions import EvaluationContext
+from repro.errors import ExecutionError
+from repro.tensor import current_profiler
+from repro.tensor.device import Device, parse_device
+
+
+class ExecutionContext:
+    """Everything an operator needs at runtime."""
+
+    def __init__(self, inputs: dict[str, TensorTable],
+                 eval_ctx: Optional[EvaluationContext] = None,
+                 device: Device | str = "cpu"):
+        self.inputs = inputs
+        self.device = parse_device(device)
+        self.eval_ctx = eval_ctx or EvaluationContext(device=self.device)
+
+    def input_table(self, alias: str) -> TensorTable:
+        if alias not in self.inputs:
+            raise ExecutionError(f"no input table bound for scan alias {alias!r}")
+        return self.inputs[alias]
+
+
+class TensorOperator:
+    """Base class for relational operators implemented as tensor programs."""
+
+    #: short name used by the profiler scopes and the Figure-2 breakdown
+    name = "operator"
+
+    def __init__(self, children: list["TensorOperator"]):
+        self.children = children
+
+    def execute(self, ctx: ExecutionContext) -> TensorTable:
+        """Execute the subtree rooted at this operator."""
+        profiler = current_profiler()
+        if profiler is None:
+            return self._execute(ctx)
+        with profiler.scope(self.describe()):
+            return self._execute(ctx)
+
+    def _execute(self, ctx: ExecutionContext) -> TensorTable:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+    def pretty(self, indent: int = 0) -> str:
+        lines = ["  " * indent + self.describe()]
+        for child in self.children:
+            lines.append(child.pretty(indent + 1))
+        return "\n".join(lines)
+
+    def walk(self):
+        yield self
+        for child in self.children:
+            yield from child.walk()

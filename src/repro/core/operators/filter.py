@@ -1,0 +1,24 @@
+"""Filter: boolean-mask compaction (predicates compiled to tensor programs)."""
+
+from __future__ import annotations
+
+from repro.core.columnar import TensorTable
+from repro.core.expressions import as_mask, evaluate
+from repro.core.operators.base import ExecutionContext, TensorOperator
+from repro.frontend.ast import Expr
+
+
+class FilterOperator(TensorOperator):
+    """Evaluate the predicate into a boolean mask and compact every column."""
+
+    name = "Filter"
+
+    def __init__(self, child: TensorOperator, condition: Expr):
+        super().__init__([child])
+        self.condition = condition
+
+    def _execute(self, ctx: ExecutionContext) -> TensorTable:
+        table = self.children[0].execute(ctx)
+        value = evaluate(self.condition, table, ctx.eval_ctx)
+        mask = as_mask(value, table.num_rows)
+        return table.mask(mask)

@@ -1,0 +1,88 @@
+"""Shared key-factorization machinery used by joins, aggregation and DISTINCT.
+
+Grouping and joining over arbitrary key types stay inside the tensor op
+vocabulary: numeric/date keys are densified with ``unique``; padded string
+keys are densified with the sort + neighbour-comparison trick of
+:func:`repro.core.strings.dense_rank`; multi-column keys are mixed pairwise
+and re-densified to avoid overflow.
+"""
+
+from __future__ import annotations
+
+from repro.core import strings
+from repro.core.columnar import LogicalType
+from repro.core.expressions import ExprValue
+from repro.errors import ExecutionError
+from repro.tensor import Tensor, ops
+
+
+def factorize_single(value: ExprValue) -> Tensor:
+    """Dense int64 ids (0..G-1) for one key column."""
+    if value.ltype == LogicalType.STRING:
+        return strings.dense_rank(value.tensor)
+    _, inverse, _ = ops.unique(value.tensor)
+    return inverse
+
+
+def factorize_pair(left: ExprValue, right: ExprValue) -> tuple[Tensor, Tensor]:
+    """Jointly densify one key column of a join's left and right side.
+
+    Both sides must receive ids drawn from the same dictionary so equal values
+    map to equal ids; this is achieved by concatenating the two key columns
+    before densification.
+    """
+    if (left.ltype == LogicalType.STRING) != (right.ltype == LogicalType.STRING):
+        raise ExecutionError("join key types do not match")
+    n_left = left.tensor.shape[0]
+    if left.ltype == LogicalType.STRING:
+        width = max(left.tensor.shape[1], right.tensor.shape[1])
+        both = ops.concat([ops.pad2d(left.tensor, width),
+                           ops.pad2d(right.tensor, width)], axis=0)
+        ids = strings.dense_rank(both)
+    else:
+        if LogicalType.FLOAT in (left.ltype, right.ltype):
+            target = "float64"
+        else:
+            target = "int64"
+        both = ops.concat([ops.cast(left.tensor, target),
+                           ops.cast(right.tensor, target)], axis=0)
+        _, ids, _ = ops.unique(both)
+    left_ids = ops.narrow(ids, 0, 0, n_left)
+    right_ids = ops.narrow(ids, 0, n_left, ids.shape[0] - n_left)
+    return left_ids, right_ids
+
+
+def combine_ids(id_columns: list[Tensor]) -> Tensor:
+    """Mix several dense id columns into one dense composite id column."""
+    if not id_columns:
+        raise ExecutionError("combine_ids() requires at least one id column")
+    combined = id_columns[0]
+    if combined.shape[0] == 0:
+        return combined
+    for ids in id_columns[1:]:
+        radix = ops.add(ops.max_(ids), 1)
+        mixed = ops.add(ops.mul(combined, radix), ids)
+        _, combined, _ = ops.unique(mixed)
+    return combined
+
+
+def group_table(id_columns: list[Tensor], num_rows: int) -> tuple[Tensor, int, Tensor]:
+    """Compute (group_ids, num_groups, representative_row_indices).
+
+    ``representative_row_indices[g]`` is the first input row of group ``g``;
+    aggregation uses it to materialize the group key columns.
+    """
+    if num_rows == 0:
+        empty = ops.zeros((0,), dtype="int64")
+        return empty, 0, empty
+    group_ids = combine_ids(id_columns) if id_columns else ops.zeros(
+        (num_rows,), dtype="int64"
+    )
+    if id_columns:
+        num_groups = int(ops.add(ops.max_(group_ids), 1).item())
+    else:
+        num_groups = 1
+    representatives = ops.scatter_min(
+        group_ids, ops.arange(num_rows, device=group_ids.device), num_groups
+    )
+    return group_ids, num_groups, representatives

@@ -1,0 +1,219 @@
+"""Join operators expressed as tensor programs.
+
+The equi-join follows the TQP strategy of staying inside the tensor op
+vocabulary: join keys are densified into integer ids, the build side is
+sorted, probe rows locate their match ranges with ``searchsorted``, and the
+ragged match lists are flattened with ``repeat`` + ``arange`` arithmetic into
+flat gather indices.  Semi/anti/left-outer variants and residual (non-equi)
+conditions are layered on top of the same machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.columnar import LogicalType, TensorColumn, TensorTable
+from repro.core.expressions import as_mask, evaluate
+from repro.core.operators.base import ExecutionContext, TensorOperator
+from repro.core.operators.grouping import combine_ids, factorize_pair
+from repro.errors import ExecutionError
+from repro.frontend.ast import Expr
+from repro.tensor import Tensor, ops
+
+
+def merge_tables(left: TensorTable, right: TensorTable) -> TensorTable:
+    """Column-wise concatenation of two equally sized tables."""
+    columns = dict(left.columns())
+    for name, column in right.columns():
+        if name in columns:
+            raise ExecutionError(f"duplicate column name after join: {name!r}")
+        columns[name] = column
+    return TensorTable(columns)
+
+
+def concat_tables(first: TensorTable, second: TensorTable) -> TensorTable:
+    """Row-wise concatenation of two tables with identical column sets."""
+    columns = {}
+    for name, top in first.columns():
+        bottom = second.column(name)
+        if top.ltype == LogicalType.STRING:
+            width = max(top.tensor.shape[1], bottom.tensor.shape[1])
+            data = ops.concat([ops.pad2d(top.tensor, width),
+                               ops.pad2d(bottom.tensor, width)], axis=0)
+        else:
+            data = ops.concat([top.tensor, bottom.tensor], axis=0)
+        valid = None
+        if top.valid is not None or bottom.valid is not None:
+            valid = ops.concat([top.validity(), bottom.validity()], axis=0)
+        columns[name] = TensorColumn(data, top.ltype, valid)
+    return TensorTable(columns)
+
+
+def _null_column_like(column: TensorColumn, num_rows: int) -> TensorColumn:
+    """An all-NULL column with the same type/width as ``column``."""
+    device = column.device
+    if column.ltype == LogicalType.STRING:
+        data = ops.zeros((num_rows, column.tensor.shape[1]), dtype="int32", device=device)
+    elif column.ltype == LogicalType.FLOAT:
+        data = ops.zeros((num_rows,), dtype="float64", device=device)
+    elif column.ltype == LogicalType.BOOL:
+        data = ops.zeros((num_rows,), dtype="bool", device=device)
+    else:
+        data = ops.zeros((num_rows,), dtype="int64", device=device)
+    valid = ops.full((num_rows,), False, dtype="bool", device=device)
+    return TensorColumn(data, column.ltype, valid)
+
+
+class HashJoinOperator(TensorOperator):
+    """Equi-join on densified keys (inner / left outer / semi / anti)."""
+
+    name = "HashJoin"
+
+    def __init__(self, left: TensorOperator, right: TensorOperator, kind: str,
+                 left_keys: list[Expr], right_keys: list[Expr],
+                 residual: Optional[Expr] = None):
+        super().__init__([left, right])
+        if kind not in ("inner", "left", "semi", "anti"):
+            raise ExecutionError(f"unsupported hash join kind {kind!r}")
+        self.kind = kind
+        self.left_keys = left_keys
+        self.right_keys = right_keys
+        self.residual = residual
+
+    def describe(self) -> str:
+        return f"HashJoin[{self.kind}]"
+
+    # -- key handling -------------------------------------------------------
+
+    def _key_ids(self, left_table: TensorTable, right_table: TensorTable,
+                 ctx: ExecutionContext) -> tuple[Tensor, Tensor]:
+        left_ids, right_ids = [], []
+        for left_expr, right_expr in zip(self.left_keys, self.right_keys):
+            left_value = evaluate(left_expr, left_table, ctx.eval_ctx)
+            right_value = evaluate(right_expr, right_table, ctx.eval_ctx)
+            lid, rid = factorize_pair(left_value, right_value)
+            left_ids.append(lid)
+            right_ids.append(rid)
+        n_left = left_table.num_rows
+        n_right = right_table.num_rows
+        if len(left_ids) == 1:
+            return left_ids[0], right_ids[0]
+        both = [ops.concat([l, r], axis=0) for l, r in zip(left_ids, right_ids)]
+        combined = combine_ids(both)
+        return (ops.narrow(combined, 0, 0, n_left),
+                ops.narrow(combined, 0, n_left, n_right))
+
+    # -- execution ------------------------------------------------------------
+
+    def _execute(self, ctx: ExecutionContext) -> TensorTable:
+        left_table = self.children[0].execute(ctx)
+        right_table = self.children[1].execute(ctx)
+        n_left, n_right = left_table.num_rows, right_table.num_rows
+
+        left_ids, right_ids = self._key_ids(left_table, right_table, ctx)
+
+        order = ops.argsort(right_ids)
+        sorted_right = ops.take(right_ids, order)
+        start = ops.searchsorted(sorted_right, left_ids, side="left")
+        end = ops.searchsorted(sorted_right, left_ids, side="right")
+        counts = ops.sub(end, start)
+
+        if self.kind in ("semi", "anti") and self.residual is None:
+            matched = ops.gt(counts, 0)
+            mask = matched if self.kind == "semi" else ops.logical_not(matched)
+            return left_table.mask(mask)
+
+        total = int(ops.sum_(counts).item())
+        offsets = ops.sub(ops.cumsum(counts), counts)
+        row_index = ops.arange(n_left, device=left_ids.device)
+        pair_left = ops.repeat(row_index, counts)
+        within = ops.sub(ops.arange(total, device=left_ids.device),
+                         ops.repeat(offsets, counts))
+        pair_right_sorted = ops.add(ops.repeat(start, counts), within)
+        pair_right = ops.take(order, pair_right_sorted)
+
+        matched_left = left_table.gather(pair_left)
+        matched_right = right_table.gather(pair_right)
+        combined = merge_tables(matched_left, matched_right)
+
+        residual_mask: Optional[Tensor] = None
+        if self.residual is not None:
+            residual_value = evaluate(self.residual, combined, ctx.eval_ctx)
+            residual_mask = as_mask(residual_value, combined.num_rows)
+
+        if self.kind == "inner":
+            return combined.mask(residual_mask) if residual_mask is not None else combined
+
+        if self.kind in ("semi", "anti"):
+            hits = ops.scatter_add(pair_left, ops.cast(residual_mask, "int64"),
+                                   size=n_left)
+            matched = ops.gt(hits, 0)
+            mask = matched if self.kind == "semi" else ops.logical_not(matched)
+            return left_table.mask(mask)
+
+        # left outer join
+        if residual_mask is not None:
+            combined = combined.mask(residual_mask)
+            pair_left = ops.boolean_mask(pair_left, residual_mask)
+        if pair_left.shape[0] > 0:
+            hits = ops.scatter_add(pair_left,
+                                   ops.full((pair_left.shape[0],), 1, dtype="int64",
+                                            device=pair_left.device),
+                                   size=n_left)
+        else:
+            hits = ops.zeros((n_left,), dtype="int64", device=left_ids.device)
+        unmatched = ops.eq(hits, 0)
+        left_unmatched = left_table.mask(unmatched)
+        null_right = TensorTable({
+            name: _null_column_like(column, left_unmatched.num_rows)
+            for name, column in right_table.columns()
+        })
+        padded = merge_tables(left_unmatched, null_right)
+        return concat_tables(combined, padded)
+
+
+class NestedLoopJoinOperator(TensorOperator):
+    """Cross product (optionally filtered) — the fallback for non-equi joins."""
+
+    name = "NestedLoopJoin"
+
+    def __init__(self, left: TensorOperator, right: TensorOperator, kind: str,
+                 condition: Optional[Expr] = None):
+        super().__init__([left, right])
+        if kind not in ("inner", "cross", "semi", "anti"):
+            raise ExecutionError(f"unsupported nested-loop join kind {kind!r}")
+        self.kind = kind
+        self.condition = condition
+
+    def describe(self) -> str:
+        return f"NestedLoopJoin[{self.kind}]"
+
+    def _execute(self, ctx: ExecutionContext) -> TensorTable:
+        left_table = self.children[0].execute(ctx)
+        right_table = self.children[1].execute(ctx)
+        n_left, n_right = left_table.num_rows, right_table.num_rows
+
+        device = left_table.device
+        pair_left = ops.repeat(ops.arange(n_left, device=device),
+                               ops.full((n_left,), n_right, dtype="int64", device=device))
+        pair_right = ops.mod(ops.arange(n_left * n_right, device=device), max(n_right, 1))
+        combined = merge_tables(left_table.gather(pair_left),
+                                right_table.gather(pair_right))
+
+        mask: Optional[Tensor] = None
+        if self.condition is not None:
+            value = evaluate(self.condition, combined, ctx.eval_ctx)
+            mask = as_mask(value, combined.num_rows)
+
+        if self.kind in ("inner", "cross"):
+            return combined.mask(mask) if mask is not None else combined
+
+        if mask is None:
+            mask = ops.full((combined.num_rows,), True, dtype="bool", device=device)
+        hits = ops.scatter_add(pair_left, ops.cast(mask, "int64"), size=n_left)
+        matched = ops.gt(hits, 0)
+        if self.kind == "anti":
+            matched = ops.logical_not(matched)
+        return left_table.mask(matched)

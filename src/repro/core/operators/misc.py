@@ -1,0 +1,76 @@
+"""Limit, Distinct and Rename operators."""
+
+from __future__ import annotations
+
+from repro.core.columnar import TensorTable
+from repro.core.expressions import ExprValue
+from repro.core.operators.base import ExecutionContext, TensorOperator
+from repro.core.operators.grouping import combine_ids, factorize_single
+from repro.errors import ExecutionError
+from repro.frontend.logical import Field
+from repro.tensor import ops
+
+
+class LimitOperator(TensorOperator):
+    """Keep the first N rows."""
+
+    name = "Limit"
+
+    def __init__(self, child: TensorOperator, count: int):
+        super().__init__([child])
+        self.count = count
+
+    def describe(self) -> str:
+        return f"Limit({self.count})"
+
+    def _execute(self, ctx: ExecutionContext) -> TensorTable:
+        table = self.children[0].execute(ctx)
+        keep = min(self.count, table.num_rows)
+        return table.gather(ops.arange(keep, device=table.device))
+
+
+class DistinctOperator(TensorOperator):
+    """Remove duplicate rows (grouping over all output columns)."""
+
+    name = "Distinct"
+
+    def __init__(self, child: TensorOperator):
+        super().__init__([child])
+
+    def _execute(self, ctx: ExecutionContext) -> TensorTable:
+        table = self.children[0].execute(ctx)
+        if table.num_rows == 0:
+            return table
+        id_columns = []
+        for _, column in table.columns():
+            value = ExprValue(column.tensor, column.ltype, False, column.valid)
+            id_columns.append(factorize_single(value))
+        group_ids = combine_ids(id_columns)
+        num_groups = int(ops.add(ops.max_(group_ids), 1).item())
+        representatives = ops.scatter_min(
+            group_ids, ops.arange(table.num_rows, device=group_ids.device), num_groups
+        )
+        return table.gather(representatives)
+
+
+class RenameOperator(TensorOperator):
+    """Rename the child's output columns positionally (derived-table aliases)."""
+
+    name = "Rename"
+
+    def __init__(self, child: TensorOperator, output_fields: list[Field]):
+        super().__init__([child])
+        self.output_fields = output_fields
+
+    def _execute(self, ctx: ExecutionContext) -> TensorTable:
+        table = self.children[0].execute(ctx)
+        names = table.column_names
+        if len(names) != len(self.output_fields):
+            raise ExecutionError(
+                "rename arity mismatch: "
+                f"{len(names)} input columns vs {len(self.output_fields)} output fields"
+            )
+        return TensorTable({
+            field.name: table.column(name)
+            for name, field in zip(names, self.output_fields)
+        })

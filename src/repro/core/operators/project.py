@@ -1,0 +1,32 @@
+"""Projection: compute output expressions as new tensor columns."""
+
+from __future__ import annotations
+
+from repro.core.columnar import LogicalType, TensorTable
+from repro.core.expressions import evaluate, to_column
+from repro.core.operators.base import ExecutionContext, TensorOperator
+from repro.frontend.ast import Expr
+
+
+class ProjectOperator(TensorOperator):
+    """Evaluate each projection expression and assemble the output table."""
+
+    name = "Project"
+
+    def __init__(self, child: TensorOperator, exprs: list[Expr], names: list[str],
+                 types: list[LogicalType]):
+        super().__init__([child])
+        self.exprs = exprs
+        self.names = names
+        self.types = types
+
+    def _execute(self, ctx: ExecutionContext) -> TensorTable:
+        table = self.children[0].execute(ctx)
+        columns = {}
+        for expr, name in zip(self.exprs, self.names):
+            value = evaluate(expr, table, ctx.eval_ctx)
+            columns[name] = to_column(value, table.num_rows)
+        return TensorTable(columns)
+
+    def describe(self) -> str:
+        return f"Project({len(self.exprs)} cols)"

@@ -1,0 +1,37 @@
+"""Table scan: bind a registered tensor table (already converted) to the plan."""
+
+from __future__ import annotations
+
+from repro.core.columnar import TensorTable
+from repro.core.operators.base import ExecutionContext, TensorOperator
+from repro.errors import ExecutionError
+from repro.frontend.logical import Field
+
+
+class ScanOperator(TensorOperator):
+    """Leaf operator: fetch the input tensor table bound to this scan's alias.
+
+    Data conversion (DataFrame → tensor columns) happens in the Executor's
+    preparation step, outside the measured query execution, exactly like the
+    paper separates data transformation from query execution.
+    """
+
+    name = "TableScan"
+
+    def __init__(self, table: str, alias: str, fields: list[Field]):
+        super().__init__([])
+        self.table = table
+        self.alias = alias
+        self.fields = fields
+
+    def _execute(self, ctx: ExecutionContext) -> TensorTable:
+        table = ctx.input_table(self.alias)
+        missing = [f.name for f in self.fields if f.name not in table]
+        if missing:
+            raise ExecutionError(
+                f"input table for {self.alias!r} is missing columns {missing}"
+            )
+        return table.select([f.name for f in self.fields])
+
+    def describe(self) -> str:
+        return f"TableScan({self.table})"

@@ -1,0 +1,138 @@
+"""Planning layer: TQP IR → operator plan of tensor programs (paper §2.2, layer 3)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core import ir
+from repro.core.operators import (
+    DistinctOperator,
+    FilterOperator,
+    HashAggregateOperator,
+    HashJoinOperator,
+    LimitOperator,
+    NestedLoopJoinOperator,
+    ProjectOperator,
+    RenameOperator,
+    ScanOperator,
+    SortOperator,
+    TensorOperator,
+)
+from repro.errors import PlanningError
+from repro.frontend import ast
+from repro.frontend.logical import Field
+
+
+@dataclasses.dataclass
+class OperatorPlan:
+    """The output of the planning layer.
+
+    Attributes:
+        root: root of the operator tree.
+        scans: every scan in the plan, including those inside runtime-evaluated
+            subqueries (the executor uses this to prepare input tensors).
+        output_fields: the plan's output schema.
+    """
+
+    root: TensorOperator
+    scans: list[ScanOperator]
+    output_fields: list[Field]
+
+
+def ir_node_expressions(node: ir.IRNode) -> list[ast.Expr]:
+    """All expressions stored in an IR node's attributes."""
+    attrs = node.attrs
+    if node.op == ir.FILTER:
+        return [attrs["condition"]]
+    if node.op == ir.PROJECT:
+        return list(attrs["exprs"])
+    if node.op == ir.HASH_JOIN:
+        exprs = list(attrs["left_keys"]) + list(attrs["right_keys"])
+        if attrs.get("residual") is not None:
+            exprs.append(attrs["residual"])
+        return exprs
+    if node.op == ir.NESTED_LOOP_JOIN:
+        return [attrs["condition"]] if attrs.get("condition") is not None else []
+    if node.op == ir.HASH_AGGREGATE:
+        exprs = list(attrs["group_exprs"])
+        exprs.extend(a.expr for a in attrs["aggregates"] if a.expr is not None)
+        return exprs
+    if node.op == ir.SORT:
+        return [key for key, _ in attrs["keys"]]
+    return []
+
+
+class Planner:
+    """Maps each IR operator to its tensor-program implementation."""
+
+    def __init__(self) -> None:
+        self._scans: list[ScanOperator] = []
+
+    def plan(self, root: ir.IRNode) -> OperatorPlan:
+        operator_root = self._plan_node(root)
+        return OperatorPlan(operator_root, self._scans, list(root.fields))
+
+    # -- node translation --------------------------------------------------
+
+    def _plan_node(self, node: ir.IRNode) -> TensorOperator:
+        self._plan_embedded_subqueries(node)
+        attrs = node.attrs
+
+        if node.op == ir.SCAN:
+            scan = ScanOperator(attrs["table"], attrs["alias"], attrs["fields"])
+            self._scans.append(scan)
+            return scan
+        if node.op == ir.FILTER:
+            return FilterOperator(self._plan_node(node.children[0]), attrs["condition"])
+        if node.op == ir.PROJECT:
+            return ProjectOperator(self._plan_node(node.children[0]), attrs["exprs"],
+                                   attrs["names"], attrs["types"])
+        if node.op == ir.HASH_JOIN:
+            return HashJoinOperator(self._plan_node(node.children[0]),
+                                    self._plan_node(node.children[1]),
+                                    attrs["kind"], attrs["left_keys"],
+                                    attrs["right_keys"], attrs.get("residual"))
+        if node.op == ir.NESTED_LOOP_JOIN:
+            return NestedLoopJoinOperator(self._plan_node(node.children[0]),
+                                          self._plan_node(node.children[1]),
+                                          attrs["kind"], attrs.get("condition"))
+        if node.op == ir.HASH_AGGREGATE:
+            return HashAggregateOperator(self._plan_node(node.children[0]),
+                                         attrs["group_exprs"], attrs["group_names"],
+                                         attrs["group_types"], attrs["aggregates"])
+        if node.op == ir.SORT:
+            return SortOperator(self._plan_node(node.children[0]), attrs["keys"])
+        if node.op == ir.LIMIT:
+            return LimitOperator(self._plan_node(node.children[0]), attrs["count"])
+        if node.op == ir.DISTINCT:
+            return DistinctOperator(self._plan_node(node.children[0]))
+        if node.op == ir.RENAME:
+            return RenameOperator(self._plan_node(node.children[0]),
+                                  attrs["output_fields"])
+        raise PlanningError(f"no tensor implementation for IR op {node.op!r}")
+
+    # -- runtime subqueries --------------------------------------------------
+
+    def _plan_embedded_subqueries(self, node: ir.IRNode) -> None:
+        """Replace physical subplans inside expressions with operator subtrees.
+
+        Uncorrelated IN / EXISTS / scalar subqueries are evaluated at runtime;
+        by planning them here their scans participate in input preparation and
+        their execution is captured by the same trace as the main query.
+        """
+        from repro.core.ir_builder import build_ir
+        from repro.core.ir_optimizer import optimize_ir
+        from repro.frontend.physical import PhysicalNode
+
+        for expr in ir_node_expressions(node):
+            for sub in ast.walk_expr(expr):
+                if isinstance(sub, (ast.InSubquery, ast.ExistsSubquery,
+                                    ast.ScalarSubquery)):
+                    if isinstance(sub.subplan, PhysicalNode):
+                        sub_ir = optimize_ir(build_ir(sub.subplan))
+                        sub.subplan = self._plan_node(sub_ir)
+
+
+def plan_ir(root: ir.IRNode) -> OperatorPlan:
+    """Convenience wrapper: plan an IR tree into an :class:`OperatorPlan`."""
+    return Planner().plan(root)

@@ -1,0 +1,177 @@
+"""Tensor-program implementations of string predicates over padded code tensors.
+
+Strings are ``(n × m)`` int32 code-point tensors right-padded with zeros
+(paper §2.1), so every predicate below is expressed purely with tensor ops —
+equality/comparison, sliding-window containment for ``LIKE '%x%'``, prefix and
+suffix matching, and substring extraction.
+"""
+
+from __future__ import annotations
+
+from repro.core.columnar import encode_string_literal
+from repro.errors import UnsupportedOperationError
+from repro.tensor import Tensor, ops
+from repro.tensor.device import Device
+
+
+def row_lengths(codes: Tensor) -> Tensor:
+    """Logical length of every row (number of non-padding code points)."""
+    return ops.count_nonzero(ops.ne(codes, 0), axis=1)
+
+
+def _literal_tensor(value: str, width: int, device: Device) -> Tensor:
+    return ops.tensor(encode_string_literal(value, width), device=device)
+
+
+def equals_literal(codes: Tensor, value: str) -> Tensor:
+    """``column = 'literal'`` over a padded string tensor."""
+    width = codes.shape[1]
+    if len(value) > width:
+        return ops.full((codes.shape[0],), False, dtype="bool", device=codes.device)
+    literal = _literal_tensor(value, width, codes.device)
+    return ops.all_(ops.eq(codes, literal), axis=1)
+
+
+def equals_columns(left: Tensor, right: Tensor) -> Tensor:
+    """Row-wise equality of two padded string tensors (widths may differ)."""
+    width = max(left.shape[1], right.shape[1])
+    left = ops.pad2d(left, width)
+    right = ops.pad2d(right, width)
+    return ops.all_(ops.eq(left, right), axis=1)
+
+
+def starts_with(codes: Tensor, prefix: str) -> Tensor:
+    width = codes.shape[1]
+    if len(prefix) > width:
+        return ops.full((codes.shape[0],), False, dtype="bool", device=codes.device)
+    if not prefix:
+        return ops.full((codes.shape[0],), True, dtype="bool", device=codes.device)
+    head = ops.narrow(codes, 1, 0, len(prefix))
+    literal = _literal_tensor(prefix, len(prefix), codes.device)
+    return ops.all_(ops.eq(head, literal), axis=1)
+
+
+def _window_matches(codes: Tensor, needle: str) -> Tensor:
+    """(n, positions) boolean tensor: does ``needle`` start at each position?"""
+    literal = _literal_tensor(needle, len(needle), codes.device)
+    windows = ops.sliding_window(codes, len(needle))
+    return ops.all_(ops.eq(windows, literal), axis=2)
+
+
+def contains(codes: Tensor, needle: str) -> Tensor:
+    """``LIKE '%needle%'``."""
+    if not needle:
+        return ops.full((codes.shape[0],), True, dtype="bool", device=codes.device)
+    if len(needle) > codes.shape[1]:
+        return ops.full((codes.shape[0],), False, dtype="bool", device=codes.device)
+    return ops.any_(_window_matches(codes, needle), axis=1)
+
+
+def ends_with(codes: Tensor, suffix: str) -> Tensor:
+    """``LIKE '%suffix'`` — the match must end exactly at the row length."""
+    if not suffix:
+        return ops.full((codes.shape[0],), True, dtype="bool", device=codes.device)
+    if len(suffix) > codes.shape[1]:
+        return ops.full((codes.shape[0],), False, dtype="bool", device=codes.device)
+    matches = _window_matches(codes, suffix)
+    lengths = row_lengths(codes)
+    expected_position = ops.sub(lengths, len(suffix))
+    n_positions = matches.shape[1]
+    position_index = ops.arange(n_positions, device=codes.device)
+    at_expected = ops.eq(ops.reshape(position_index, (1, n_positions)),
+                         ops.reshape(expected_position, (codes.shape[0], 1)))
+    return ops.any_(ops.logical_and(matches, at_expected), axis=1)
+
+
+def like(codes: Tensor, pattern: str) -> Tensor:
+    """General SQL ``LIKE`` with ``%`` wildcards (no ``_`` support).
+
+    The pattern is split on ``%`` into segments; a non-empty leading segment
+    anchors at position 0, a non-empty trailing segment anchors at the end of
+    the string, and the remaining segments must occur in order, each starting
+    at or after the end of the previous match.
+    """
+    if "_" in pattern:
+        raise UnsupportedOperationError("LIKE with '_' wildcards is not supported")
+    n = codes.shape[0]
+    device = codes.device
+    if "%" not in pattern:
+        return equals_literal(codes, pattern)
+    segments = pattern.split("%")
+    leading, trailing = segments[0], segments[-1]
+    middle = [s for s in segments[1:-1] if s]
+
+    result = ops.full((n,), True, dtype="bool", device=device)
+    cursor = ops.full((n,), 0, dtype="int64", device=device)
+
+    if leading:
+        result = ops.logical_and(result, starts_with(codes, leading))
+        cursor = ops.full((n,), len(leading), dtype="int64", device=device)
+
+    big = codes.shape[1] + 1
+    for segment in middle:
+        if len(segment) > codes.shape[1]:
+            return ops.full((n,), False, dtype="bool", device=device)
+        matches = _window_matches(codes, segment)
+        n_positions = matches.shape[1]
+        position_index = ops.reshape(ops.arange(n_positions, device=device),
+                                     (1, n_positions))
+        allowed = ops.ge(position_index, ops.reshape(cursor, (n, 1)))
+        usable = ops.logical_and(matches, allowed)
+        # Earliest usable match position per row (``big`` when there is none).
+        candidate = ops.where(usable, position_index, big)
+        earliest = ops.min_(candidate, axis=1)
+        found = ops.lt(earliest, big)
+        result = ops.logical_and(result, found)
+        cursor = ops.add(ops.where(found, earliest, 0), len(segment))
+
+    if trailing:
+        anchored = ends_with(codes, trailing)
+        lengths = row_lengths(codes)
+        room = ops.ge(ops.sub(lengths, len(trailing)), cursor)
+        result = ops.logical_and(result, ops.logical_and(anchored, room))
+    else:
+        lengths = row_lengths(codes)
+        result = ops.logical_and(result, ops.ge(lengths, cursor))
+    return result
+
+
+def substring(codes: Tensor, start: int, length: int | None) -> Tensor:
+    """``SUBSTRING(column FROM start [FOR length])`` with 1-based ``start``."""
+    if start < 1:
+        raise UnsupportedOperationError("SUBSTRING start must be >= 1")
+    width = codes.shape[1]
+    begin = min(start - 1, width)
+    if length is None:
+        length = width - begin
+    length = max(0, min(length, width - begin))
+    if length == 0:
+        return ops.zeros((codes.shape[0], 1), dtype="int32", device=codes.device)
+    return ops.narrow(codes, 1, begin, length)
+
+
+def dense_rank(codes: Tensor) -> Tensor:
+    """Dense group ids (0..G-1, in lexicographic order) for a string tensor.
+
+    Implemented with sort + neighbour-comparison + prefix sum so it stays in
+    the tensor op vocabulary (no Python loops over rows).
+    """
+    n, width = codes.shape
+    if n == 0:
+        return ops.zeros((0,), dtype="int64", device=codes.device)
+    # numpy lexsort treats the *last* key as primary: pass columns reversed.
+    keys = [ops.slice_(codes, (slice(None), col)) for col in range(width - 1, -1, -1)]
+    order = ops.lexsort(keys)
+    sorted_codes = ops.take(codes, order, axis=0)
+    head = ops.narrow(sorted_codes, 0, 0, n - 1) if n > 1 else None
+    if head is None:
+        boundaries = ops.zeros((0,), dtype="bool", device=codes.device)
+    else:
+        tail = ops.narrow(sorted_codes, 0, 1, n - 1)
+        boundaries = ops.any_(ops.ne(head, tail), axis=1)
+    group_of_sorted = ops.concat(
+        [ops.zeros((1,), dtype="int64", device=codes.device),
+         ops.cumsum(ops.cast(boundaries, "int64"))]
+    )
+    ranks = ops.scatter_add(order, group_of_sorted, size=n)
+    return ops.cast(ranks, "int64")

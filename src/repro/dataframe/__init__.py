@@ -1,0 +1,6 @@
+"""Minimal columnar DataFrame for data ingestion (the pandas stand-in)."""
+
+from repro.dataframe.frame import DataFrame, DataFrameError, concat_frames
+from repro.dataframe.io import read_csv, write_csv
+
+__all__ = ["DataFrame", "DataFrameError", "concat_frames", "read_csv", "write_csv"]

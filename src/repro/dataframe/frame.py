@@ -1,0 +1,203 @@
+"""A minimal columnar DataFrame used for data ingestion.
+
+The paper ingests data through Pandas / Arrow; pandas is not available in this
+environment, so this module provides the small slice of that API TQP needs:
+named columns backed by numpy arrays, CSV I/O (:mod:`repro.dataframe.io`),
+row counts, column selection and conversion to/from Python structures.
+
+Column kinds:
+
+* numeric columns — any numpy integer/float/bool array,
+* date columns — ``numpy.datetime64`` arrays,
+* string columns — numpy object (or unicode) arrays of Python strings.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import TQPError
+
+
+class DataFrameError(TQPError):
+    """Raised for invalid DataFrame construction or access."""
+
+
+def _normalize_column(name: str, values: Any) -> np.ndarray:
+    """Coerce a column to a supported numpy array."""
+    if isinstance(values, np.ndarray):
+        array = values
+    else:
+        values = list(values)
+        if values and isinstance(values[0], str):
+            array = np.array(values, dtype=object)
+        else:
+            array = np.asarray(values)
+    if array.ndim != 1:
+        raise DataFrameError(f"column {name!r} must be one-dimensional")
+    if array.dtype.kind == "U":
+        array = array.astype(object)
+    if array.dtype.kind not in "ifbMO":
+        raise DataFrameError(
+            f"column {name!r} has unsupported dtype {array.dtype} "
+            "(expected numeric, bool, datetime64, or str)"
+        )
+    return array
+
+
+class DataFrame:
+    """An ordered collection of equally sized named columns."""
+
+    def __init__(self, data: Mapping[str, Any] | None = None):
+        self._columns: dict[str, np.ndarray] = {}
+        length: int | None = None
+        for name, values in (data or {}).items():
+            array = _normalize_column(name, values)
+            if length is None:
+                length = len(array)
+            elif len(array) != length:
+                raise DataFrameError(
+                    f"column {name!r} has length {len(array)}, expected {length}"
+                )
+            self._columns[name] = array
+        self._length = length or 0
+
+    # -- construction helpers ----------------------------------------------
+
+    @classmethod
+    def from_records(cls, records: Sequence[Mapping[str, Any]],
+                     columns: Sequence[str] | None = None) -> "DataFrame":
+        """Build a DataFrame from a list of dict rows."""
+        if not records:
+            return cls({name: [] for name in (columns or [])})
+        names = list(columns) if columns else list(records[0].keys())
+        data = {name: [record[name] for record in records] for name in names}
+        return cls(data)
+
+    # -- basic protocol -------------------------------------------------------
+
+    @property
+    def columns(self) -> list[str]:
+        return list(self._columns)
+
+    @property
+    def num_rows(self) -> int:
+        return self._length
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise DataFrameError(f"no such column: {name!r}") from None
+
+    def column(self, name: str) -> np.ndarray:
+        return self[name]
+
+    def dtypes(self) -> dict[str, str]:
+        """Logical type of each column: int, float, bool, date, or string."""
+        out = {}
+        for name, array in self._columns.items():
+            out[name] = _logical_kind(array)
+        return out
+
+    # -- transformation -------------------------------------------------------
+
+    def select(self, names: Sequence[str]) -> "DataFrame":
+        return DataFrame({name: self[name] for name in names})
+
+    def with_column(self, name: str, values: Any) -> "DataFrame":
+        """Return a copy with ``name`` added or replaced."""
+        data = dict(self._columns)
+        data[name] = values
+        return DataFrame(data)
+
+    def head(self, n: int = 5) -> "DataFrame":
+        return DataFrame({name: array[:n] for name, array in self._columns.items()})
+
+    def take(self, indices: Sequence[int] | np.ndarray) -> "DataFrame":
+        idx = np.asarray(indices)
+        return DataFrame({name: array[idx] for name, array in self._columns.items()})
+
+    def filter(self, mask: np.ndarray) -> "DataFrame":
+        mask = np.asarray(mask, dtype=bool)
+        return DataFrame({name: array[mask] for name, array in self._columns.items()})
+
+    # -- conversion -----------------------------------------------------------
+
+    def to_dict(self) -> dict[str, list]:
+        return {name: array.tolist() for name, array in self._columns.items()}
+
+    def to_records(self) -> list[dict[str, Any]]:
+        names = self.columns
+        return [
+            {name: self._columns[name][i] for name in names}
+            for i in range(self._length)
+        ]
+
+    def rows(self) -> Iterable[tuple]:
+        """Iterate rows as tuples in column order (used by the row engine)."""
+        arrays = [self._columns[name] for name in self.columns]
+        for i in range(self._length):
+            yield tuple(array[i] for array in arrays)
+
+    # -- comparison / display ------------------------------------------------
+
+    def equals(self, other: "DataFrame", float_tol: float = 1e-6) -> bool:
+        """Structural equality with tolerance on float columns."""
+        if self.columns != other.columns or len(self) != len(other):
+            return False
+        for name in self.columns:
+            a, b = self[name], other[name]
+            if _logical_kind(a) == "float" or _logical_kind(b) == "float":
+                if not np.allclose(a.astype(np.float64), b.astype(np.float64),
+                                   atol=float_tol, rtol=1e-9, equal_nan=True):
+                    return False
+            else:
+                if not np.array_equal(a, b):
+                    return False
+        return True
+
+    def __repr__(self) -> str:
+        preview_rows = min(self._length, 6)
+        lines = [f"DataFrame({self._length} rows x {len(self._columns)} columns)"]
+        if self._columns:
+            lines.append(" | ".join(self.columns))
+            for i in range(preview_rows):
+                lines.append(" | ".join(str(self._columns[c][i]) for c in self.columns))
+            if self._length > preview_rows:
+                lines.append("...")
+        return "\n".join(lines)
+
+
+def _logical_kind(array: np.ndarray) -> str:
+    if array.dtype.kind == "M":
+        return "date"
+    if array.dtype.kind == "b":
+        return "bool"
+    if array.dtype.kind == "i" or array.dtype.kind == "u":
+        return "int"
+    if array.dtype.kind == "f":
+        return "float"
+    return "string"
+
+
+def concat_frames(frames: Sequence[DataFrame]) -> DataFrame:
+    """Concatenate frames with identical columns vertically."""
+    if not frames:
+        return DataFrame()
+    columns = frames[0].columns
+    for frame in frames[1:]:
+        if frame.columns != columns:
+            raise DataFrameError("cannot concatenate frames with different columns")
+    data = {
+        name: np.concatenate([frame[name] for frame in frames]) for name in columns
+    }
+    return DataFrame(data)

@@ -1,0 +1,99 @@
+"""CSV reading/writing for the ingestion DataFrame.
+
+Supports the pipe-delimited files produced by TPC-H ``dbgen`` as well as plain
+comma-separated files, with simple type inference (int, float, date, string).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.dataframe.frame import DataFrame
+
+
+def _infer_column(values: list[str]) -> np.ndarray:
+    """Infer a column type from its string values."""
+    stripped = [v.strip() for v in values]
+
+    def try_parse(cast):
+        out = []
+        for v in stripped:
+            out.append(cast(v))
+        return out
+
+    try:
+        return np.asarray(try_parse(int), dtype=np.int64)
+    except ValueError:
+        pass
+    try:
+        return np.asarray(try_parse(float), dtype=np.float64)
+    except ValueError:
+        pass
+    try:
+        return np.asarray(stripped, dtype="datetime64[D]")
+    except ValueError:
+        pass
+    return np.array(stripped, dtype=object)
+
+
+def read_csv(path: str | Path, delimiter: str = ",",
+             columns: Sequence[str] | None = None,
+             header: bool = True) -> DataFrame:
+    """Read a delimited text file into a DataFrame.
+
+    Args:
+        path: file to read.
+        delimiter: field delimiter ("," or "|").
+        columns: column names to use when the file has no header row.
+        header: whether the first row contains column names.
+    """
+    path = Path(path)
+    with path.open("r", encoding="utf-8", newline="") as f:
+        reader = csv.reader(f, delimiter=delimiter)
+        rows = [row for row in reader if row]
+    if not rows:
+        return DataFrame({name: [] for name in (columns or [])})
+    if header:
+        names = rows[0]
+        body = rows[1:]
+    else:
+        if columns is None:
+            names = [f"col{i}" for i in range(len(rows[0]))]
+        else:
+            names = list(columns)
+        body = rows
+    # TPC-H dbgen writes a trailing delimiter producing an empty last field.
+    width = len(names)
+    body = [row[:width] for row in body]
+    data = {}
+    for i, name in enumerate(names):
+        data[name] = _infer_column([row[i] for row in body])
+    return DataFrame(data)
+
+
+def write_csv(frame: DataFrame, path: str | Path, delimiter: str = ",",
+              header: bool = True) -> None:
+    """Write a DataFrame to a delimited text file."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8", newline="") as f:
+        writer = csv.writer(f, delimiter=delimiter)
+        if header:
+            writer.writerow(frame.columns)
+        for row in frame.rows():
+            writer.writerow([_format_value(v) for v in row])
+
+
+def _format_value(value) -> str:
+    if isinstance(value, np.datetime64):
+        return str(value.astype("datetime64[D]"))
+    if isinstance(value, (float, np.floating)):
+        # repr(float(...)) keeps full precision and avoids numpy-2 scalar reprs
+        # such as "np.float64(1.5)".
+        return repr(float(value))
+    if isinstance(value, (int, np.integer)):
+        return str(int(value))
+    return str(value)

@@ -1,0 +1,5 @@
+"""Datasets: TPC-H dbgen stand-in, synthetic Amazon reviews, synthetic Iris."""
+
+from repro.datasets import amazon_reviews, iris, tpch
+
+__all__ = ["amazon_reviews", "iris", "tpch"]

@@ -1,0 +1,60 @@
+"""Synthetic Iris dataset (stand-in for Fisher's Iris used in §3.3).
+
+Three species clusters with per-species feature means/spreads close to the
+classic dataset, generated deterministically so no download is required.
+The demo's second prediction-query task is *regression* on Iris; the helper
+:func:`regression_arrays` exposes the conventional target (petal width
+predicted from the other three measurements).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataframe import DataFrame
+
+SPECIES = ["setosa", "versicolor", "virginica"]
+
+#: Per-species means for (sepal_length, sepal_width, petal_length, petal_width).
+_MEANS = {
+    "setosa": (5.01, 3.43, 1.46, 0.25),
+    "versicolor": (5.94, 2.77, 4.26, 1.33),
+    "virginica": (6.59, 2.97, 5.55, 2.03),
+}
+_STDS = {
+    "setosa": (0.35, 0.38, 0.17, 0.11),
+    "versicolor": (0.52, 0.31, 0.47, 0.20),
+    "virginica": (0.64, 0.32, 0.55, 0.27),
+}
+
+
+def generate_iris(samples_per_species: int = 50, seed: int = 1936) -> DataFrame:
+    """Generate the synthetic Iris table (150 rows by default)."""
+    rng = np.random.default_rng(seed)
+    columns = {"sepal_length": [], "sepal_width": [], "petal_length": [],
+               "petal_width": [], "species": []}
+    for species in SPECIES:
+        means = np.array(_MEANS[species])
+        stds = np.array(_STDS[species])
+        samples = rng.normal(means, stds, size=(samples_per_species, 4))
+        samples = np.clip(samples, 0.1, None)
+        columns["sepal_length"].extend(np.round(samples[:, 0], 2))
+        columns["sepal_width"].extend(np.round(samples[:, 1], 2))
+        columns["petal_length"].extend(np.round(samples[:, 2], 2))
+        columns["petal_width"].extend(np.round(samples[:, 3], 2))
+        columns["species"].extend([species] * samples_per_species)
+    return DataFrame({
+        "sepal_length": np.array(columns["sepal_length"], dtype=np.float64),
+        "sepal_width": np.array(columns["sepal_width"], dtype=np.float64),
+        "petal_length": np.array(columns["petal_length"], dtype=np.float64),
+        "petal_width": np.array(columns["petal_width"], dtype=np.float64),
+        "species": np.array(columns["species"], dtype=object),
+    })
+
+
+def regression_arrays(frame: DataFrame) -> tuple[np.ndarray, np.ndarray]:
+    """(X, y) for the regression task: predict petal width from the other three."""
+    X = np.stack([frame["sepal_length"], frame["sepal_width"],
+                  frame["petal_length"]], axis=1)
+    y = frame["petal_width"]
+    return X, y

@@ -1,0 +1,88 @@
+"""TPC-H schema constants (table names, column order, value vocabularies)."""
+
+from __future__ import annotations
+
+#: Region and nation vocabularies (fixed by the TPC-H specification).
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+
+#: (nation name, region index) in nationkey order, as in dbgen.
+NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1), ("EGYPT", 4),
+    ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3), ("INDIA", 2), ("INDONESIA", 2),
+    ("IRAN", 4), ("IRAQ", 4), ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0),
+    ("MOROCCO", 0), ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3), ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+]
+
+MARKET_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+
+ORDER_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+
+SHIP_MODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+
+SHIP_INSTRUCTIONS = ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"]
+
+#: p_name is a concatenation of five distinct colour words.
+COLORS = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched",
+    "blue", "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon",
+    "chocolate", "coral", "cornflower", "cornsilk", "cream", "cyan", "dark", "deep",
+    "dim", "dodger", "drab", "firebrick", "floral", "forest", "frosted", "gainsboro",
+    "ghost", "goldenrod", "green", "grey", "honeydew", "hot", "indian", "ivory",
+    "khaki", "lace", "lavender", "lawn", "lemon", "light", "lime", "linen", "magenta",
+    "maroon", "medium", "metallic", "midnight", "mint", "misty", "moccasin", "navajo",
+    "navy", "olive", "orange", "orchid", "pale", "papaya", "peach", "peru", "pink",
+    "plum", "powder", "puff", "purple", "red", "rose", "rosy", "royal", "saddle",
+    "salmon", "sandy", "seashell", "sienna", "sky", "slate", "smoke", "snow",
+    "spring", "steel", "tan", "thistle", "tomato", "turquoise", "violet", "wheat",
+    "white", "yellow",
+]
+
+TYPE_SYLLABLE_1 = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+TYPE_SYLLABLE_2 = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+TYPE_SYLLABLE_3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+
+CONTAINER_SYLLABLE_1 = ["SM", "LG", "MED", "JUMBO", "WRAP"]
+CONTAINER_SYLLABLE_2 = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"]
+
+#: Words used when synthesizing comment text.
+COMMENT_WORDS = [
+    "carefully", "quickly", "slyly", "furiously", "blithely", "regular", "final",
+    "express", "bold", "ironic", "pending", "silent", "even", "special", "requests",
+    "deposits", "instructions", "accounts", "packages", "theodolites", "foxes",
+    "pinto", "beans", "dependencies", "excuses", "platelets", "asymptotes", "courts",
+    "ideas", "dolphins", "sometimes", "wake", "sleep", "haggle", "nag", "cajole",
+]
+
+#: Column order of every table (used by the CSV writer and the catalog).
+TABLE_COLUMNS = {
+    "region": ["r_regionkey", "r_name", "r_comment"],
+    "nation": ["n_nationkey", "n_name", "n_regionkey", "n_comment"],
+    "supplier": ["s_suppkey", "s_name", "s_address", "s_nationkey", "s_phone",
+                 "s_acctbal", "s_comment"],
+    "part": ["p_partkey", "p_name", "p_mfgr", "p_brand", "p_type", "p_size",
+             "p_container", "p_retailprice", "p_comment"],
+    "partsupp": ["ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost",
+                 "ps_comment"],
+    "customer": ["c_custkey", "c_name", "c_address", "c_nationkey", "c_phone",
+                 "c_acctbal", "c_mktsegment", "c_comment"],
+    "orders": ["o_orderkey", "o_custkey", "o_orderstatus", "o_totalprice",
+               "o_orderdate", "o_orderpriority", "o_clerk", "o_shippriority",
+               "o_comment"],
+    "lineitem": ["l_orderkey", "l_partkey", "l_suppkey", "l_linenumber",
+                 "l_quantity", "l_extendedprice", "l_discount", "l_tax",
+                 "l_returnflag", "l_linestatus", "l_shipdate", "l_commitdate",
+                 "l_receiptdate", "l_shipinstruct", "l_shipmode", "l_comment"],
+}
+
+TABLE_NAMES = list(TABLE_COLUMNS)
+
+#: Base cardinalities at scale factor 1 (lineitem is derived from orders).
+BASE_ROW_COUNTS = {
+    "supplier": 10_000,
+    "part": 200_000,
+    "partsupp": 800_000,   # 4 suppliers per part
+    "customer": 150_000,
+    "orders": 1_500_000,
+}

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the TQP reproduction.
+
+Every layer of the stack raises a subclass of :class:`TQPError`, so callers can
+catch one exception type at the public-API boundary while tests can assert on
+the specific failure mode.
+"""
+
+from __future__ import annotations
+
+
+class TQPError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class TensorRuntimeError(TQPError):
+    """Raised by the tensor runtime substrate (``repro.tensor``)."""
+
+
+class DeviceError(TensorRuntimeError):
+    """Raised for unknown devices or illegal cross-device operations."""
+
+
+class DTypeError(TensorRuntimeError):
+    """Raised for unsupported or mismatched tensor dtypes."""
+
+
+class GraphError(TensorRuntimeError):
+    """Raised for malformed tensor graphs (missing inputs, cycles, ...)."""
+
+
+class SQLError(TQPError):
+    """Base class for SQL frontend errors."""
+
+
+class SQLSyntaxError(SQLError):
+    """Raised when the SQL text cannot be parsed."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" (line {line}, column {column})"
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class AnalysisError(SQLError):
+    """Raised when a parsed query fails semantic analysis (unknown column, ...)."""
+
+
+class CatalogError(SQLError):
+    """Raised for unknown tables or conflicting registrations."""
+
+
+class PlanningError(TQPError):
+    """Raised when a plan cannot be lowered to the next layer."""
+
+
+class UnsupportedOperationError(PlanningError):
+    """Raised when a query uses a feature the compiler does not support."""
+
+
+class ExecutionError(TQPError):
+    """Raised when an executor fails at runtime."""
+
+
+class ModelError(TQPError):
+    """Raised by the ML model layer (unknown model, bad shapes, not fitted)."""

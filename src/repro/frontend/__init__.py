@@ -1,0 +1,41 @@
+"""Spark-like SQL frontend: parser, analyzer, optimizer, physical planner.
+
+The frontend plays the role Apache Spark plays for TQP in the paper: it turns
+SQL text into a *physical plan* that TQP's compilation stack (and the
+row-engine baseline) consume.
+"""
+
+from repro.frontend.analyzer import Analyzer
+from repro.frontend.catalog import Catalog, TableSchema
+from repro.frontend.logical import LogicalNode
+from repro.frontend.optimizer import optimize
+from repro.frontend.parser import parse
+from repro.frontend.physical import PhysicalNode
+from repro.frontend.planner import to_physical
+
+__all__ = [
+    "Analyzer",
+    "Catalog",
+    "LogicalNode",
+    "PhysicalNode",
+    "TableSchema",
+    "optimize",
+    "parse",
+    "sql_to_logical",
+    "sql_to_physical",
+    "to_physical",
+]
+
+
+def sql_to_logical(sql: str, catalog: Catalog, optimized: bool = True) -> LogicalNode:
+    """Parse, analyze and (optionally) optimize ``sql`` into a logical plan."""
+    statement = parse(sql)
+    plan = Analyzer(catalog).analyze(statement)
+    if optimized:
+        plan = optimize(plan)
+    return plan
+
+
+def sql_to_physical(sql: str, catalog: Catalog, optimized: bool = True) -> PhysicalNode:
+    """Full frontend pipeline: SQL text → physical plan."""
+    return to_physical(sql_to_logical(sql, catalog, optimized=optimized))

@@ -1,0 +1,75 @@
+"""Catalog of registered tables (name → schema + ingestion DataFrame)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.columnar import LogicalType
+from repro.dataframe import DataFrame
+from repro.errors import CatalogError
+
+_KIND_TO_LOGICAL = {
+    "int": LogicalType.INT,
+    "float": LogicalType.FLOAT,
+    "bool": LogicalType.BOOL,
+    "date": LogicalType.DATE,
+    "string": LogicalType.STRING,
+}
+
+
+@dataclasses.dataclass
+class TableSchema:
+    """Schema of a registered table: ordered column names and logical types."""
+
+    name: str
+    columns: dict[str, LogicalType]
+
+    def column_type(self, column: str) -> LogicalType:
+        try:
+            return self.columns[column]
+        except KeyError:
+            raise CatalogError(
+                f"table {self.name!r} has no column {column!r}"
+            ) from None
+
+
+class Catalog:
+    """Holds the tables a session can query."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, DataFrame] = {}
+        self._schemas: dict[str, TableSchema] = {}
+
+    def register(self, name: str, frame: DataFrame, replace: bool = True) -> None:
+        """Register ``frame`` under ``name`` (lower-cased, SQL style)."""
+        key = name.lower()
+        if not replace and key in self._tables:
+            raise CatalogError(f"table {name!r} is already registered")
+        columns = {
+            column: _KIND_TO_LOGICAL[kind] for column, kind in frame.dtypes().items()
+        }
+        self._tables[key] = frame
+        self._schemas[key] = TableSchema(key, columns)
+
+    def unregister(self, name: str) -> None:
+        key = name.lower()
+        self._tables.pop(key, None)
+        self._schemas.pop(key, None)
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def dataframe(self, name: str) -> DataFrame:
+        key = name.lower()
+        if key not in self._tables:
+            raise CatalogError(f"unknown table: {name!r}")
+        return self._tables[key]
+
+    def schema(self, name: str) -> TableSchema:
+        key = name.lower()
+        if key not in self._schemas:
+            raise CatalogError(f"unknown table: {name!r}")
+        return self._schemas[key]

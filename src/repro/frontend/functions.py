@@ -1,0 +1,36 @@
+"""Metadata about SQL functions understood by the frontend."""
+
+from __future__ import annotations
+
+from repro.core.columnar import LogicalType
+
+#: Aggregate function names and whether their result is always float.
+AGGREGATE_FUNCTIONS = {
+    "sum": None,      # result type follows the input type
+    "avg": LogicalType.FLOAT,
+    "min": None,
+    "max": None,
+    "count": LogicalType.INT,
+}
+
+#: Scalar functions with a fixed result type (None = follows first argument).
+SCALAR_FUNCTIONS = {
+    "abs": None,
+    "round": None,
+    "floor": LogicalType.FLOAT,
+    "ceil": LogicalType.FLOAT,
+    "sqrt": LogicalType.FLOAT,
+    "length": LogicalType.INT,
+    "year": LogicalType.INT,
+    "month": LogicalType.INT,
+    "day": LogicalType.INT,
+    "coalesce": None,
+}
+
+
+def is_aggregate_name(name: str) -> bool:
+    return name.lower() in AGGREGATE_FUNCTIONS
+
+
+def is_scalar_function(name: str) -> bool:
+    return name.lower() in SCALAR_FUNCTIONS

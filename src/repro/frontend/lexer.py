@@ -1,0 +1,204 @@
+"""SQL lexer for the Spark-like frontend.
+
+Produces a flat token stream consumed by :mod:`repro.frontend.parser`.
+Keywords are case-insensitive; identifiers are lower-cased (TPC-H style),
+quoted identifiers/strings preserve case.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.errors import SQLSyntaxError
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCTUATION = "punctuation"
+    EOF = "eof"
+
+
+KEYWORDS = {
+    "select", "from", "where", "group", "by", "having", "order", "limit",
+    "as", "and", "or", "not", "in", "exists", "between", "like", "is", "null",
+    "case", "when", "then", "else", "end", "distinct", "all", "asc", "desc",
+    "join", "inner", "left", "right", "full", "outer", "cross", "on", "using",
+    "union", "with", "date", "interval", "extract", "substring", "for", "cast",
+    "true", "false", "predict",
+    "year", "month", "day",
+}
+
+_OPERATORS = ("<>", "!=", ">=", "<=", "||", "=", "<", ">", "+", "-", "*", "/", "%")
+_PUNCTUATION = ("(", ")", ",", ";", ".")
+
+
+@dataclasses.dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.type == TokenType.KEYWORD and self.value in names
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Token({self.type.value}, {self.value!r})"
+
+
+class Lexer:
+    """Converts SQL text into a list of tokens."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def _error(self, message: str) -> SQLSyntaxError:
+        return SQLSyntaxError(message, self.line, self.column)
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.text) and self.text[self.pos] == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+            self.pos += 1
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.text[index] if index < len(self.text) else ""
+
+    def tokenize(self) -> list[Token]:
+        tokens: list[Token] = []
+        while self.pos < len(self.text):
+            ch = self._peek()
+            if ch.isspace():
+                self._advance()
+                continue
+            if ch == "-" and self._peek(1) == "-":
+                while self.pos < len(self.text) and self._peek() != "\n":
+                    self._advance()
+                continue
+            if ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self.pos < len(self.text) and not (
+                    self._peek() == "*" and self._peek(1) == "/"
+                ):
+                    self._advance()
+                if self.pos >= len(self.text):
+                    raise self._error("unterminated block comment")
+                self._advance(2)
+                continue
+            line, column = self.line, self.column
+            if ch == "'":
+                tokens.append(Token(TokenType.STRING, self._read_string(), line, column))
+                continue
+            if ch == '"':
+                tokens.append(Token(TokenType.IDENTIFIER,
+                                    self._read_quoted_identifier(), line, column))
+                continue
+            if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+                tokens.append(Token(TokenType.NUMBER, self._read_number(), line, column))
+                continue
+            if ch.isalpha() or ch == "_":
+                word = self._read_word()
+                lowered = word.lower()
+                if lowered in KEYWORDS:
+                    tokens.append(Token(TokenType.KEYWORD, lowered, line, column))
+                else:
+                    tokens.append(Token(TokenType.IDENTIFIER, lowered, line, column))
+                continue
+            matched = False
+            for op in _OPERATORS:
+                if self.text.startswith(op, self.pos):
+                    tokens.append(Token(TokenType.OPERATOR, op, line, column))
+                    self._advance(len(op))
+                    matched = True
+                    break
+            if matched:
+                continue
+            if ch in _PUNCTUATION:
+                tokens.append(Token(TokenType.PUNCTUATION, ch, line, column))
+                self._advance()
+                continue
+            raise self._error(f"unexpected character {ch!r}")
+        tokens.append(Token(TokenType.EOF, "", self.line, self.column))
+        return tokens
+
+    def _read_string(self) -> str:
+        self._advance()  # opening quote
+        chars: list[str] = []
+        while True:
+            if self.pos >= len(self.text):
+                raise self._error("unterminated string literal")
+            ch = self._peek()
+            if ch == "'":
+                if self._peek(1) == "'":  # escaped quote
+                    chars.append("'")
+                    self._advance(2)
+                    continue
+                self._advance()
+                return "".join(chars)
+            chars.append(ch)
+            self._advance()
+
+    def _read_quoted_identifier(self) -> str:
+        self._advance()
+        chars: list[str] = []
+        while True:
+            if self.pos >= len(self.text):
+                raise self._error("unterminated quoted identifier")
+            ch = self._peek()
+            if ch == '"':
+                self._advance()
+                return "".join(chars)
+            chars.append(ch)
+            self._advance()
+
+    def _read_number(self) -> str:
+        chars: list[str] = []
+        seen_dot = False
+        seen_exp = False
+        while self.pos < len(self.text):
+            ch = self._peek()
+            if ch.isdigit():
+                chars.append(ch)
+            elif ch == "." and not seen_dot and not seen_exp:
+                seen_dot = True
+                chars.append(ch)
+            elif ch in "eE" and not seen_exp and chars and chars[-1].isdigit():
+                seen_exp = True
+                chars.append(ch)
+                if self._peek(1) in "+-":
+                    self._advance()
+                    chars.append(self._peek())
+            else:
+                break
+            self._advance()
+        return "".join(chars)
+
+    def _read_word(self) -> str:
+        chars: list[str] = []
+        while self.pos < len(self.text):
+            ch = self._peek()
+            if ch.isalnum() or ch == "_":
+                chars.append(ch)
+                self._advance()
+            else:
+                break
+        return "".join(chars)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize SQL ``text`` into a token list ending with an EOF token."""
+    return Lexer(text).tokenize()

@@ -1,0 +1,209 @@
+"""Physical plan nodes (the Spark-physical-plan analogue TQP consumes).
+
+The physical plan fixes operator algorithms (hash join, hash aggregate,
+sort...).  It is the hand-off format between the frontend database system and
+TQP's parsing layer, mirroring how the paper feeds Spark SQL physical plans
+into TQP.  The row-engine baseline executes the same physical plans, so both
+engines share everything up to this point.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.core.columnar import LogicalType
+from repro.frontend.ast import Expr
+from repro.frontend.logical import AggregateCall, Field
+
+
+class PhysicalNode:
+    """Base class for physical operators."""
+
+    def children(self) -> list["PhysicalNode"]:
+        raise NotImplementedError
+
+    def schema(self) -> list[Field]:
+        raise NotImplementedError
+
+    def field_names(self) -> list[str]:
+        return [f.name for f in self.schema()]
+
+    def describe(self) -> str:
+        return type(self).__name__.replace("Physical", "")
+
+    def pretty(self, indent: int = 0) -> str:
+        lines = ["  " * indent + self.describe()]
+        for child in self.children():
+            lines.append(child.pretty(indent + 1))
+        return "\n".join(lines)
+
+
+@dataclasses.dataclass(eq=False)
+class PhysicalScan(PhysicalNode):
+    table: str
+    alias: str
+    fields: list[Field]
+
+    def children(self) -> list[PhysicalNode]:
+        return []
+
+    def schema(self) -> list[Field]:
+        return self.fields
+
+    def describe(self) -> str:
+        return f"TableScan({self.table} as {self.alias}, cols={len(self.fields)})"
+
+
+@dataclasses.dataclass(eq=False)
+class PhysicalFilter(PhysicalNode):
+    child: PhysicalNode
+    condition: Expr
+
+    def children(self) -> list[PhysicalNode]:
+        return [self.child]
+
+    def schema(self) -> list[Field]:
+        return self.child.schema()
+
+
+@dataclasses.dataclass(eq=False)
+class PhysicalProject(PhysicalNode):
+    child: PhysicalNode
+    exprs: list[Expr]
+    names: list[str]
+    types: list[LogicalType]
+
+    def children(self) -> list[PhysicalNode]:
+        return [self.child]
+
+    def schema(self) -> list[Field]:
+        return [Field(n, t) for n, t in zip(self.names, self.types)]
+
+    def describe(self) -> str:
+        return f"Project({', '.join(self.names)})"
+
+
+@dataclasses.dataclass(eq=False)
+class PhysicalHashJoin(PhysicalNode):
+    left: PhysicalNode
+    right: PhysicalNode
+    kind: str  # inner, left, semi, anti
+    left_keys: list[Expr]
+    right_keys: list[Expr]
+    residual: Optional[Expr] = None
+
+    def children(self) -> list[PhysicalNode]:
+        return [self.left, self.right]
+
+    def schema(self) -> list[Field]:
+        if self.kind in ("semi", "anti"):
+            return self.left.schema()
+        return list(self.left.schema()) + list(self.right.schema())
+
+    def describe(self) -> str:
+        return f"HashJoin[{self.kind}](keys={len(self.left_keys)})"
+
+
+@dataclasses.dataclass(eq=False)
+class PhysicalNestedLoopJoin(PhysicalNode):
+    left: PhysicalNode
+    right: PhysicalNode
+    kind: str  # inner, cross, left, semi, anti
+    condition: Optional[Expr] = None
+
+    def children(self) -> list[PhysicalNode]:
+        return [self.left, self.right]
+
+    def schema(self) -> list[Field]:
+        if self.kind in ("semi", "anti"):
+            return self.left.schema()
+        return list(self.left.schema()) + list(self.right.schema())
+
+    def describe(self) -> str:
+        return f"NestedLoopJoin[{self.kind}]"
+
+
+@dataclasses.dataclass(eq=False)
+class PhysicalHashAggregate(PhysicalNode):
+    child: PhysicalNode
+    group_exprs: list[Expr]
+    group_names: list[str]
+    group_types: list[LogicalType]
+    aggregates: list[AggregateCall]
+
+    def children(self) -> list[PhysicalNode]:
+        return [self.child]
+
+    def schema(self) -> list[Field]:
+        fields = [Field(n, t) for n, t in zip(self.group_names, self.group_types)]
+        fields.extend(Field(a.output_name, a.output_type) for a in self.aggregates)
+        return fields
+
+    def describe(self) -> str:
+        return (f"HashAggregate(groups={len(self.group_exprs)}, "
+                f"aggs={len(self.aggregates)})")
+
+
+@dataclasses.dataclass(eq=False)
+class PhysicalSort(PhysicalNode):
+    child: PhysicalNode
+    keys: list[tuple[Expr, bool]]
+
+    def children(self) -> list[PhysicalNode]:
+        return [self.child]
+
+    def schema(self) -> list[Field]:
+        return self.child.schema()
+
+    def describe(self) -> str:
+        return f"Sort(keys={len(self.keys)})"
+
+
+@dataclasses.dataclass(eq=False)
+class PhysicalLimit(PhysicalNode):
+    child: PhysicalNode
+    count: int
+
+    def children(self) -> list[PhysicalNode]:
+        return [self.child]
+
+    def schema(self) -> list[Field]:
+        return self.child.schema()
+
+    def describe(self) -> str:
+        return f"Limit({self.count})"
+
+
+@dataclasses.dataclass(eq=False)
+class PhysicalDistinct(PhysicalNode):
+    child: PhysicalNode
+
+    def children(self) -> list[PhysicalNode]:
+        return [self.child]
+
+    def schema(self) -> list[Field]:
+        return self.child.schema()
+
+
+@dataclasses.dataclass(eq=False)
+class PhysicalRename(PhysicalNode):
+    """Renames the child's output columns (derived tables / CTE aliases)."""
+
+    child: PhysicalNode
+    output_fields: list[Field]
+
+    def children(self) -> list[PhysicalNode]:
+        return [self.child]
+
+    def schema(self) -> list[Field]:
+        return self.output_fields
+
+    def describe(self) -> str:
+        return f"Rename({len(self.output_fields)} cols)"
+
+
+def walk_physical(node: PhysicalNode):
+    yield node
+    for child in node.children():
+        yield from walk_physical(child)

@@ -1,0 +1,92 @@
+"""Physical planning: resolved+optimized logical plan → physical plan."""
+
+from __future__ import annotations
+
+from repro.errors import PlanningError
+from repro.frontend import ast
+from repro.frontend.logical import (
+    LogicalAggregate,
+    LogicalDistinct,
+    LogicalFilter,
+    LogicalJoin,
+    LogicalLimit,
+    LogicalNode,
+    LogicalProject,
+    LogicalScan,
+    LogicalSort,
+    LogicalSubqueryAlias,
+)
+from repro.frontend.physical import (
+    PhysicalDistinct,
+    PhysicalFilter,
+    PhysicalHashAggregate,
+    PhysicalHashJoin,
+    PhysicalLimit,
+    PhysicalNestedLoopJoin,
+    PhysicalNode,
+    PhysicalProject,
+    PhysicalRename,
+    PhysicalScan,
+    PhysicalSort,
+    walk_physical,
+)
+
+
+def to_physical(plan: LogicalNode) -> PhysicalNode:
+    """Translate a logical plan into a physical plan.
+
+    Joins with extracted equality keys become hash joins; keyless joins fall
+    back to nested-loop joins.  Aggregates become hash aggregates; the
+    remaining operators map one-to-one.
+    """
+    physical = _convert(plan)
+    _plan_embedded_subqueries(physical)
+    return physical
+
+
+def _convert(plan: LogicalNode) -> PhysicalNode:
+    if isinstance(plan, LogicalScan):
+        return PhysicalScan(plan.table, plan.alias, list(plan.fields))
+    if isinstance(plan, LogicalFilter):
+        return PhysicalFilter(_convert(plan.child), plan.condition)
+    if isinstance(plan, LogicalProject):
+        return PhysicalProject(_convert(plan.child), list(plan.exprs),
+                               list(plan.names), list(plan.types))
+    if isinstance(plan, LogicalJoin):
+        left, right = _convert(plan.left), _convert(plan.right)
+        if plan.left_keys:
+            return PhysicalHashJoin(left, right, plan.kind,
+                                    list(plan.left_keys), list(plan.right_keys),
+                                    plan.residual)
+        condition = plan.residual if plan.residual is not None else plan.condition
+        kind = "cross" if plan.kind == "cross" and condition is None else plan.kind
+        return PhysicalNestedLoopJoin(left, right, kind, condition)
+    if isinstance(plan, LogicalAggregate):
+        return PhysicalHashAggregate(_convert(plan.child), list(plan.group_exprs),
+                                     list(plan.group_names), list(plan.group_types),
+                                     list(plan.aggregates))
+    if isinstance(plan, LogicalSort):
+        return PhysicalSort(_convert(plan.child), list(plan.keys))
+    if isinstance(plan, LogicalLimit):
+        return PhysicalLimit(_convert(plan.child), plan.count)
+    if isinstance(plan, LogicalDistinct):
+        return PhysicalDistinct(_convert(plan.child))
+    if isinstance(plan, LogicalSubqueryAlias):
+        return PhysicalRename(_convert(plan.child), plan.schema())
+    raise PlanningError(f"cannot plan logical node {type(plan).__name__}")
+
+
+def _plan_embedded_subqueries(physical: PhysicalNode) -> None:
+    """Convert logical subplans embedded in expressions to physical plans.
+
+    Uncorrelated IN / EXISTS / scalar subqueries stay in expression form and
+    are executed at runtime; their subplans must therefore also be physical.
+    """
+    from repro.frontend.optimizer import node_expressions_physical
+
+    for node in walk_physical(physical):
+        for expr in node_expressions_physical(node):
+            for sub in ast.walk_expr(expr):
+                if isinstance(sub, (ast.InSubquery, ast.ExistsSubquery, ast.ScalarSubquery)):
+                    if sub.subplan is not None and isinstance(sub.subplan, LogicalNode):
+                        sub.subplan = to_physical(sub.subplan)

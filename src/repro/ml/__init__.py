@@ -1,0 +1,6 @@
+"""ML subsystem: from-scratch models and the Hummingbird-like tensor compiler."""
+
+from repro.ml import models
+from repro.ml.compile import compile_model, compile_row_fn, tree_to_gemm_matrices
+
+__all__ = ["compile_model", "compile_row_fn", "models", "tree_to_gemm_matrices"]

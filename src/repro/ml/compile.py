@@ -1,0 +1,280 @@
+"""Hummingbird-like model compiler: fitted models → tensor programs.
+
+TQP supports ``PREDICT`` over traditional ML models by compiling them into the
+same tensor op vocabulary used for relational operators (paper §3.3 builds on
+Hummingbird for exactly this).  The centerpiece is the **GEMM strategy** for
+decision trees: a fitted tree becomes five dense matrices/vectors
+
+* ``A`` (features × internal nodes) — which feature each internal node tests,
+* ``B`` (internal nodes)            — the split thresholds,
+* ``C`` (internal nodes × leaves)   — +1 / −1 / 0 path-membership matrix,
+* ``D`` (leaves)                    — per-leaf count of left-edges on its path,
+* ``E`` (leaves)                    — leaf output values,
+
+so inference is ``((X·A ≤ B)·C == D)·E`` — nothing but matmuls and
+comparisons, which fuses seamlessly into the surrounding query's tensor graph.
+
+``compile_model`` returns the callable the expression compiler invokes for
+``PREDICT``; ``compile_row_fn`` returns a per-row Python callable used by the
+row-engine baseline (the "separate runtimes" world the paper contrasts with).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.columnar import LogicalType
+from repro.core.expressions import ExprValue
+from repro.errors import ModelError
+from repro.ml.models import (
+    BagOfWordsVectorizer,
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    GradientBoostingClassifier,
+    GradientBoostingRegressor,
+    LinearRegression,
+    LogisticRegression,
+    MLPClassifier,
+    Pipeline,
+    RandomForestClassifier,
+    RandomForestRegressor,
+    StandardScaler,
+)
+from repro.ml.models.tree import TreeNode
+from repro.tensor import Tensor, ops
+
+
+# ---------------------------------------------------------------------------
+# the GEMM strategy for trees
+# ---------------------------------------------------------------------------
+
+
+def tree_to_gemm_matrices(root: TreeNode, n_features: int
+                          ) -> tuple[np.ndarray, np.ndarray, np.ndarray,
+                                     np.ndarray, np.ndarray]:
+    """Flatten a fitted tree into the (A, B, C, D, E) GEMM matrices."""
+    internal: list[TreeNode] = []
+    leaves: list[TreeNode] = []
+
+    def collect(node: TreeNode) -> None:
+        if node.is_leaf:
+            leaves.append(node)
+            return
+        internal.append(node)
+        collect(node.left)
+        collect(node.right)
+
+    collect(root)
+
+    if not internal:
+        # Degenerate single-leaf tree: constant output.
+        a = np.zeros((n_features, 1))
+        b = np.array([np.inf])
+        c = np.zeros((1, 1))
+        d = np.zeros(1)
+        e = np.array([leaves[0].value])
+        return a, b, c, d, e
+
+    internal_index = {id(node): i for i, node in enumerate(internal)}
+    leaf_index = {id(node): i for i, node in enumerate(leaves)}
+
+    a = np.zeros((n_features, len(internal)))
+    b = np.zeros(len(internal))
+    for i, node in enumerate(internal):
+        a[node.feature, i] = 1.0
+        b[i] = node.threshold
+
+    c = np.zeros((len(internal), len(leaves)))
+
+    def mark(node: TreeNode, ancestors: list[tuple[TreeNode, bool]]) -> None:
+        if node.is_leaf:
+            column = leaf_index[id(node)]
+            for ancestor, went_left in ancestors:
+                c[internal_index[id(ancestor)], column] = 1.0 if went_left else -1.0
+            return
+        mark(node.left, ancestors + [(node, True)])
+        mark(node.right, ancestors + [(node, False)])
+
+    mark(root, [])
+    d = (c == 1.0).sum(axis=0).astype(np.float64)
+    e = np.array([leaf.value for leaf in leaves], dtype=np.float64)
+    return a, b, c, d, e
+
+
+def _tree_value_fn(root: TreeNode, n_features: int) -> Callable[[Tensor], Tensor]:
+    """Tensor function computing the raw leaf value of every input row."""
+    a, b, c, d, e = tree_to_gemm_matrices(root, n_features)
+
+    def evaluate(X: Tensor) -> Tensor:
+        device = X.device
+        ta = ops.tensor(a, device=device)
+        tb = ops.tensor(b, device=device)
+        tc = ops.tensor(c, device=device)
+        td = ops.tensor(d, device=device)
+        te = ops.tensor(e, device=device)
+        decisions = ops.cast(ops.le(ops.matmul(X, ta), tb), "float64")
+        selected = ops.cast(ops.eq(ops.matmul(decisions, tc), td), "float64")
+        return ops.matmul(selected, te)
+
+    return evaluate
+
+
+# ---------------------------------------------------------------------------
+# feature assembly
+# ---------------------------------------------------------------------------
+
+
+def _numeric_matrix(args: Sequence[ExprValue], num_rows: int) -> Tensor:
+    """Stack numeric PREDICT arguments into an (n × k) float64 design matrix."""
+    columns = []
+    for value in args:
+        tensor = value.tensor
+        if value.is_scalar:
+            tensor = ops.add(ops.zeros((num_rows,), dtype="float64",
+                                       device=tensor.device),
+                             ops.cast(tensor, "float64"))
+        columns.append(ops.cast(tensor, "float64"))
+    return ops.stack(columns, axis=1)
+
+
+# ---------------------------------------------------------------------------
+# per-model tensor compilation
+# ---------------------------------------------------------------------------
+
+
+def _compile_matrix_fn(model) -> tuple[Callable[[Tensor], Tensor], bool]:
+    """Return (f(X) -> prediction tensor, is_classifier) for a fitted model."""
+    if isinstance(model, LinearRegression):
+        def linear(X: Tensor) -> Tensor:
+            w = ops.tensor(model.coef_, device=X.device)
+            return ops.add(ops.matmul(X, w), model.intercept_)
+        return linear, False
+
+    if isinstance(model, LogisticRegression):
+        def logistic(X: Tensor) -> Tensor:
+            w = ops.tensor(model.coef_, device=X.device)
+            scores = ops.add(ops.matmul(X, w), model.intercept_)
+            return ops.cast(ops.ge(scores, 0.0), "float64")
+        return logistic, True
+
+    if isinstance(model, DecisionTreeRegressor):
+        return _tree_value_fn(model.root_, model.n_features_), False
+
+    if isinstance(model, DecisionTreeClassifier):
+        value_fn = _tree_value_fn(model.root_, model.n_features_)
+
+        def tree_classify(X: Tensor) -> Tensor:
+            return ops.cast(ops.ge(value_fn(X), 0.5), "float64")
+        return tree_classify, True
+
+    if isinstance(model, (RandomForestRegressor, RandomForestClassifier)):
+        value_fns = [_tree_value_fn(t.root_, t.n_features_) for t in model.trees_]
+
+        def forest_value(X: Tensor) -> Tensor:
+            total = value_fns[0](X)
+            for fn in value_fns[1:]:
+                total = ops.add(total, fn(X))
+            return ops.div(total, float(len(value_fns)))
+
+        if isinstance(model, RandomForestClassifier):
+            def forest_classify(X: Tensor) -> Tensor:
+                return ops.cast(ops.ge(forest_value(X), 0.5), "float64")
+            return forest_classify, True
+        return forest_value, False
+
+    if isinstance(model, (GradientBoostingRegressor, GradientBoostingClassifier)):
+        value_fns = [_tree_value_fn(t.root_, t.n_features_) for t in model.trees_]
+        learning_rate = model.learning_rate
+        base = model.base_
+
+        def boosted_value(X: Tensor) -> Tensor:
+            total = ops.full((X.shape[0],), base, dtype="float64", device=X.device)
+            for fn in value_fns:
+                total = ops.add(total, ops.mul(fn(X), learning_rate))
+            return total
+
+        if isinstance(model, GradientBoostingClassifier):
+            def boosted_classify(X: Tensor) -> Tensor:
+                return ops.cast(ops.ge(boosted_value(X), 0.0), "float64")
+            return boosted_classify, True
+        return boosted_value, False
+
+    if isinstance(model, MLPClassifier):
+        def mlp(X: Tensor) -> Tensor:
+            w1 = ops.tensor(model.weights_[0], device=X.device)
+            b1 = ops.tensor(model.biases_[0], device=X.device)
+            w2 = ops.tensor(model.weights_[1], device=X.device)
+            b2 = ops.tensor(model.biases_[1], device=X.device)
+            hidden = ops.relu(ops.add(ops.matmul(X, w1), b1))
+            logits = ops.reshape(ops.add(ops.matmul(hidden, w2), b2), (X.shape[0],))
+            return ops.cast(ops.ge(logits, 0.0), "float64")
+        return mlp, True
+
+    raise ModelError(f"cannot compile model of type {type(model).__name__}")
+
+
+def compile_model(model) -> Callable[[Sequence[ExprValue], int], ExprValue]:
+    """Compile a fitted model (or Pipeline) for use inside ``PREDICT``.
+
+    The returned callable takes the evaluated PREDICT arguments and the row
+    count, and returns an :class:`ExprValue` whose tensor holds one prediction
+    per row — entirely built from tensor ops, so the model participates in the
+    end-to-end query graph on every backend and device.
+    """
+    transformers = []
+    estimator = model
+    if isinstance(model, Pipeline):
+        transformers = [step for _, step in model.steps[:-1]]
+        estimator = model.final_estimator
+    matrix_fn, _ = _compile_matrix_fn(estimator)
+
+    def predict(args: Sequence[ExprValue], num_rows: int) -> ExprValue:
+        if not args:
+            raise ModelError("PREDICT requires at least one argument column")
+        if transformers and isinstance(transformers[0], BagOfWordsVectorizer):
+            if args[0].ltype != LogicalType.STRING:
+                raise ModelError("this model expects a text (string) column")
+            features = transformers[0].transform_tensor(args[0].tensor)
+            remaining = transformers[1:]
+        else:
+            features = _numeric_matrix(args, num_rows)
+            remaining = transformers
+        for step in remaining:
+            if isinstance(step, StandardScaler):
+                features = step.transform_tensor(features)
+            elif isinstance(step, BagOfWordsVectorizer):
+                raise ModelError("text vectorizer must be the first pipeline step")
+            else:
+                raise ModelError(f"cannot compile pipeline step {type(step).__name__}")
+        predictions = matrix_fn(features)
+        return ExprValue(predictions, LogicalType.FLOAT, False)
+
+    return predict
+
+
+def compile_row_fn(model) -> Callable[[Sequence], float]:
+    """Per-row Python predictor for the row-engine baseline.
+
+    This is the "separate ML runtime called row by row" execution mode the
+    paper's Scenario 3 contrasts with TQP's unified tensor program.
+    """
+    transformers = []
+    estimator = model
+    if isinstance(model, Pipeline):
+        transformers = [step for _, step in model.steps[:-1]]
+        estimator = model.final_estimator
+
+    def predict(values: Sequence) -> float:
+        if transformers and isinstance(transformers[0], BagOfWordsVectorizer):
+            features = transformers[0].transform([str(values[0])])
+            remaining = transformers[1:]
+        else:
+            features = np.asarray([[float(v) for v in values]], dtype=np.float64)
+            remaining = transformers
+        for step in remaining:
+            features = step.transform(features)
+        return float(np.asarray(estimator.predict(features)).reshape(-1)[0])
+
+    return predict

@@ -1,0 +1,29 @@
+"""From-scratch ML models (the scikit-learn stand-in used by PREDICT)."""
+
+from repro.ml.models.ensemble import (
+    GradientBoostingClassifier,
+    GradientBoostingRegressor,
+    RandomForestClassifier,
+    RandomForestRegressor,
+)
+from repro.ml.models.linear import LinearRegression, LogisticRegression
+from repro.ml.models.mlp import MLPClassifier
+from repro.ml.models.pipeline import Pipeline
+from repro.ml.models.preprocessing import BagOfWordsVectorizer, StandardScaler
+from repro.ml.models.tree import DecisionTreeClassifier, DecisionTreeRegressor, TreeNode
+
+__all__ = [
+    "BagOfWordsVectorizer",
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "GradientBoostingClassifier",
+    "GradientBoostingRegressor",
+    "LinearRegression",
+    "LogisticRegression",
+    "MLPClassifier",
+    "Pipeline",
+    "RandomForestClassifier",
+    "RandomForestRegressor",
+    "StandardScaler",
+    "TreeNode",
+]

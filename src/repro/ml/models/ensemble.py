@@ -1,0 +1,145 @@
+"""Tree ensembles: random forests and gradient-boosted trees."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.ml.models.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+
+class RandomForestClassifier:
+    """Bagged binary classification trees (majority of per-tree probabilities)."""
+
+    def __init__(self, n_estimators: int = 10, max_depth: int = 4,
+                 random_state: int = 0):
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.random_state = random_state
+        self.trees_: list[DecisionTreeClassifier] = []
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        rng = np.random.default_rng(self.random_state)
+        self.trees_ = []
+        for _ in range(self.n_estimators):
+            sample = rng.integers(0, len(y), size=len(y))
+            tree = DecisionTreeClassifier(max_depth=self.max_depth)
+            tree.fit(X[sample], y[sample])
+            self.trees_.append(tree)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if not self.trees_:
+            raise ModelError("RandomForestClassifier is not fitted")
+        positive = np.mean([tree.predict_value(X) for tree in self.trees_], axis=0)
+        return np.stack([1.0 - positive, positive], axis=1)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(X)[:, 1] >= 0.5).astype(np.int64)
+
+
+class RandomForestRegressor:
+    """Bagged regression trees (mean of per-tree predictions)."""
+
+    def __init__(self, n_estimators: int = 10, max_depth: int = 4,
+                 random_state: int = 0):
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.random_state = random_state
+        self.trees_: list[DecisionTreeRegressor] = []
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestRegressor":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        rng = np.random.default_rng(self.random_state)
+        self.trees_ = []
+        for _ in range(self.n_estimators):
+            sample = rng.integers(0, len(y), size=len(y))
+            tree = DecisionTreeRegressor(max_depth=self.max_depth)
+            tree.fit(X[sample], y[sample])
+            self.trees_.append(tree)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if not self.trees_:
+            raise ModelError("RandomForestRegressor is not fitted")
+        return np.mean([tree.predict(X) for tree in self.trees_], axis=0)
+
+
+class GradientBoostingRegressor:
+    """Gradient boosting with squared loss and shallow regression trees."""
+
+    def __init__(self, n_estimators: int = 20, learning_rate: float = 0.2,
+                 max_depth: int = 2):
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.base_: float = 0.0
+        self.trees_: list[DecisionTreeRegressor] = []
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GradientBoostingRegressor":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        self.base_ = float(y.mean())
+        residual = y - self.base_
+        self.trees_ = []
+        for _ in range(self.n_estimators):
+            tree = DecisionTreeRegressor(max_depth=self.max_depth)
+            tree.fit(X, residual)
+            update = tree.predict(X)
+            residual = residual - self.learning_rate * update
+            self.trees_.append(tree)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if not self.trees_:
+            raise ModelError("GradientBoostingRegressor is not fitted")
+        out = np.full(np.asarray(X).shape[0], self.base_, dtype=np.float64)
+        for tree in self.trees_:
+            out += self.learning_rate * tree.predict(X)
+        return out
+
+
+class GradientBoostingClassifier:
+    """Binary gradient boosting: boosted regression trees on the logit scale."""
+
+    def __init__(self, n_estimators: int = 20, learning_rate: float = 0.2,
+                 max_depth: int = 2):
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.base_: float = 0.0
+        self.trees_: list[DecisionTreeRegressor] = []
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GradientBoostingClassifier":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        positive_rate = np.clip(y.mean(), 1e-6, 1 - 1e-6)
+        self.base_ = float(np.log(positive_rate / (1 - positive_rate)))
+        logits = np.full(len(y), self.base_)
+        self.trees_ = []
+        for _ in range(self.n_estimators):
+            probs = 1.0 / (1.0 + np.exp(-logits))
+            residual = y - probs
+            tree = DecisionTreeRegressor(max_depth=self.max_depth)
+            tree.fit(X, residual)
+            logits = logits + self.learning_rate * tree.predict(X)
+            self.trees_.append(tree)
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        if not self.trees_:
+            raise ModelError("GradientBoostingClassifier is not fitted")
+        logits = np.full(np.asarray(X).shape[0], self.base_, dtype=np.float64)
+        for tree in self.trees_:
+            logits += self.learning_rate * tree.predict(X)
+        return logits
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        positive = 1.0 / (1.0 + np.exp(-self.decision_function(X)))
+        return np.stack([1.0 - positive, positive], axis=1)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return (self.decision_function(X) >= 0).astype(np.int64)

@@ -1,0 +1,80 @@
+"""Linear and logistic models (from scratch, numpy training)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+class LinearRegression:
+    """Ordinary least squares via the normal equations (ridge-stabilized)."""
+
+    def __init__(self, l2: float = 1e-8):
+        self.l2 = l2
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LinearRegression":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        ones = np.ones((X.shape[0], 1))
+        design = np.concatenate([X, ones], axis=1)
+        gram = design.T @ design + self.l2 * np.eye(design.shape[1])
+        weights = np.linalg.solve(gram, design.T @ y)
+        self.coef_ = weights[:-1]
+        self.intercept_ = float(weights[-1])
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        return np.asarray(X, dtype=np.float64) @ self.coef_ + self.intercept_
+
+    def _check_fitted(self) -> None:
+        if self.coef_ is None:
+            raise ModelError("LinearRegression is not fitted")
+
+
+class LogisticRegression:
+    """Binary logistic regression trained with full-batch gradient descent."""
+
+    def __init__(self, learning_rate: float = 0.5, epochs: int = 300, l2: float = 1e-4):
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.l2 = l2
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LogisticRegression":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        n, d = X.shape
+        weights = np.zeros(d)
+        bias = 0.0
+        for _ in range(self.epochs):
+            logits = X @ weights + bias
+            probs = 1.0 / (1.0 + np.exp(-logits))
+            error = probs - y
+            grad_w = X.T @ error / n + self.l2 * weights
+            grad_b = float(error.mean())
+            weights -= self.learning_rate * grad_w
+            bias -= self.learning_rate * grad_b
+        self.coef_ = weights
+        self.intercept_ = bias
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        return np.asarray(X, dtype=np.float64) @ self.coef_ + self.intercept_
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        scores = self.decision_function(X)
+        positive = 1.0 / (1.0 + np.exp(-scores))
+        return np.stack([1.0 - positive, positive], axis=1)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return (self.decision_function(X) >= 0).astype(np.int64)
+
+    def _check_fitted(self) -> None:
+        if self.coef_ is None:
+            raise ModelError("LogisticRegression is not fitted")

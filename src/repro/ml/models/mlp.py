@@ -1,0 +1,73 @@
+"""A small multi-layer perceptron (the pre-trained neural network stand-in).
+
+The paper's demo lets the audience pick pre-trained transformers; offline we
+train a compact MLP instead — the point being demonstrated is that a neural
+network's inference lowers into the same tensor program as the relational
+operators around it, which holds for any matmul+activation network.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+class MLPClassifier:
+    """One-hidden-layer binary classifier trained with mini-batch SGD."""
+
+    def __init__(self, hidden_size: int = 16, learning_rate: float = 0.1,
+                 epochs: int = 200, batch_size: int = 64, random_state: int = 0):
+        self.hidden_size = hidden_size
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.random_state = random_state
+        self.weights_: list[np.ndarray] | None = None
+        self.biases_: list[np.ndarray] | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MLPClassifier":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).reshape(-1, 1)
+        rng = np.random.default_rng(self.random_state)
+        n, d = X.shape
+        w1 = rng.normal(0, 1.0 / np.sqrt(d), size=(d, self.hidden_size))
+        b1 = np.zeros(self.hidden_size)
+        w2 = rng.normal(0, 1.0 / np.sqrt(self.hidden_size), size=(self.hidden_size, 1))
+        b2 = np.zeros(1)
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                batch = order[start:start + self.batch_size]
+                xb, yb = X[batch], y[batch]
+                hidden = np.maximum(xb @ w1 + b1, 0.0)
+                logits = hidden @ w2 + b2
+                probs = 1.0 / (1.0 + np.exp(-logits))
+                grad_logits = (probs - yb) / len(batch)
+                grad_w2 = hidden.T @ grad_logits
+                grad_b2 = grad_logits.sum(axis=0)
+                grad_hidden = grad_logits @ w2.T
+                grad_hidden[hidden <= 0] = 0.0
+                grad_w1 = xb.T @ grad_hidden
+                grad_b1 = grad_hidden.sum(axis=0)
+                w1 -= self.learning_rate * grad_w1
+                b1 -= self.learning_rate * grad_b1
+                w2 -= self.learning_rate * grad_w2
+                b2 -= self.learning_rate * grad_b2
+        self.weights_ = [w1, w2]
+        self.biases_ = [b1, b2]
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        if self.weights_ is None:
+            raise ModelError("MLPClassifier is not fitted")
+        hidden = np.maximum(np.asarray(X, dtype=np.float64) @ self.weights_[0]
+                            + self.biases_[0], 0.0)
+        return (hidden @ self.weights_[1] + self.biases_[1]).reshape(-1)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        positive = 1.0 / (1.0 + np.exp(-self.decision_function(X)))
+        return np.stack([1.0 - positive, positive], axis=1)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return (self.decision_function(X) >= 0).astype(np.int64)

@@ -1,0 +1,46 @@
+"""A minimal sklearn-style pipeline: transformers followed by a final estimator."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.errors import ModelError
+
+
+class Pipeline:
+    """Chain of (name, step) pairs; every step but the last must transform."""
+
+    def __init__(self, steps: Sequence[tuple[str, Any]]):
+        if not steps:
+            raise ModelError("Pipeline needs at least one step")
+        self.steps = list(steps)
+
+    @property
+    def named_steps(self) -> dict[str, Any]:
+        return dict(self.steps)
+
+    @property
+    def final_estimator(self) -> Any:
+        return self.steps[-1][1]
+
+    def fit(self, X, y=None) -> "Pipeline":
+        data = X
+        for _, step in self.steps[:-1]:
+            data = step.fit_transform(data)
+        if y is None:
+            self.final_estimator.fit(data)
+        else:
+            self.final_estimator.fit(data, y)
+        return self
+
+    def _transform(self, X):
+        data = X
+        for _, step in self.steps[:-1]:
+            data = step.transform(data)
+        return data
+
+    def predict(self, X):
+        return self.final_estimator.predict(self._transform(X))
+
+    def predict_proba(self, X):
+        return self.final_estimator.predict_proba(self._transform(X))

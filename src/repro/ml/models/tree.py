@@ -1,0 +1,151 @@
+"""Decision trees (CART) for classification and regression.
+
+Trees are trained with plain numpy; inference either walks the tree in Python
+(``predict``) or — the interesting path for this reproduction — is compiled
+into dense matrix operations by :mod:`repro.ml.compile`, following
+Hummingbird's GEMM strategy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+@dataclasses.dataclass
+class TreeNode:
+    """One node of a fitted tree (leaf iff ``feature is None``)."""
+
+    feature: Optional[int] = None
+    threshold: float = 0.0
+    left: Optional["TreeNode"] = None
+    right: Optional["TreeNode"] = None
+    value: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+class _BaseDecisionTree:
+    """Shared CART machinery (binary splits on ``feature <= threshold``)."""
+
+    def __init__(self, max_depth: int = 4, min_samples_split: int = 2,
+                 random_state: int | None = None):
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.random_state = random_state
+        self.root_: TreeNode | None = None
+        self.n_features_: int = 0
+
+    # -- training ----------------------------------------------------------
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "_BaseDecisionTree":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if X.ndim != 2:
+            raise ModelError("X must be 2-dimensional")
+        self.n_features_ = X.shape[1]
+        self.root_ = self._build(X, y, depth=0)
+        return self
+
+    def _build(self, X: np.ndarray, y: np.ndarray, depth: int) -> TreeNode:
+        if (depth >= self.max_depth or len(y) < self.min_samples_split
+                or self._is_pure(y)):
+            return TreeNode(value=self._leaf_value(y))
+        feature, threshold = self._best_split(X, y)
+        if feature is None:
+            return TreeNode(value=self._leaf_value(y))
+        mask = X[:, feature] <= threshold
+        if mask.all() or not mask.any():
+            return TreeNode(value=self._leaf_value(y))
+        return TreeNode(
+            feature=feature,
+            threshold=float(threshold),
+            left=self._build(X[mask], y[mask], depth + 1),
+            right=self._build(X[~mask], y[~mask], depth + 1),
+        )
+
+    def _best_split(self, X: np.ndarray, y: np.ndarray
+                    ) -> tuple[Optional[int], float]:
+        best_feature, best_threshold, best_score = None, 0.0, np.inf
+        for feature in range(X.shape[1]):
+            values = np.unique(X[:, feature])
+            if len(values) < 2:
+                continue
+            thresholds = (values[:-1] + values[1:]) / 2.0
+            # Cap the number of candidate thresholds to keep fitting fast.
+            if len(thresholds) > 32:
+                thresholds = np.quantile(values, np.linspace(0.05, 0.95, 32))
+            for threshold in thresholds:
+                mask = X[:, feature] <= threshold
+                if not mask.any() or mask.all():
+                    continue
+                score = self._impurity(y[mask]) * mask.mean() + \
+                    self._impurity(y[~mask]) * (1 - mask.mean())
+                if score < best_score:
+                    best_feature, best_threshold, best_score = feature, threshold, score
+        return best_feature, float(best_threshold)
+
+    # -- inference ------------------------------------------------------------
+
+    def predict_value(self, X: np.ndarray) -> np.ndarray:
+        """Raw leaf values for each row (class probability or regression value)."""
+        if self.root_ is None:
+            raise ModelError("tree is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        out = np.empty(X.shape[0], dtype=np.float64)
+        for i, row in enumerate(X):
+            node = self.root_
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.value
+        return out
+
+    # -- subclass hooks -----------------------------------------------------------
+
+    def _leaf_value(self, y: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def _impurity(self, y: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def _is_pure(self, y: np.ndarray) -> bool:
+        return bool(np.all(y == y[0])) if len(y) else True
+
+
+class DecisionTreeRegressor(_BaseDecisionTree):
+    """CART regression tree (squared-error splits, mean leaves)."""
+
+    def _leaf_value(self, y: np.ndarray) -> float:
+        return float(y.mean()) if len(y) else 0.0
+
+    def _impurity(self, y: np.ndarray) -> float:
+        return float(y.var()) if len(y) else 0.0
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self.predict_value(X)
+
+
+class DecisionTreeClassifier(_BaseDecisionTree):
+    """Binary CART classification tree (gini splits, positive-rate leaves)."""
+
+    def _leaf_value(self, y: np.ndarray) -> float:
+        return float(y.mean()) if len(y) else 0.0
+
+    def _impurity(self, y: np.ndarray) -> float:
+        if not len(y):
+            return 0.0
+        p = y.mean()
+        return float(2.0 * p * (1.0 - p))
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        positive = self.predict_value(X)
+        return np.stack([1.0 - positive, positive], axis=1)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return (self.predict_value(X) >= 0.5).astype(np.int64)

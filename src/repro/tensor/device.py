@@ -1,0 +1,81 @@
+"""Device abstraction for the mini tensor runtime.
+
+Three device kinds exist:
+
+* ``cpu``  — real execution with numpy kernels.
+* ``cuda`` — *simulated* GPU: kernels still run with numpy (so results are
+  always real), but executors report time from an analytic cost model
+  (see ``repro.backends.gpu_sim``).
+* ``wasm`` — *simulated* browser/WASM target used by the ONNX-like backend.
+
+Device strings follow the PyTorch convention (``"cuda"``, ``"cuda:1"``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import DeviceError
+
+_VALID_KINDS = ("cpu", "cuda", "wasm")
+
+
+@dataclasses.dataclass(frozen=True)
+class Device:
+    """A compute device identified by kind and index."""
+
+    kind: str
+    index: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _VALID_KINDS:
+            raise DeviceError(
+                f"unknown device kind {self.kind!r}; expected one of {_VALID_KINDS}"
+            )
+        if self.index < 0:
+            raise DeviceError("device index must be non-negative")
+
+    @property
+    def is_cpu(self) -> bool:
+        return self.kind == "cpu"
+
+    @property
+    def is_simulated(self) -> bool:
+        """True when execution time on this device is produced by a cost model."""
+        return self.kind in ("cuda", "wasm")
+
+    def __str__(self) -> str:
+        if self.kind == "cpu" and self.index == 0:
+            return "cpu"
+        return f"{self.kind}:{self.index}"
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Device({str(self)!r})"
+
+
+def parse_device(spec: "Device | str | None") -> Device:
+    """Parse a device specification.
+
+    Accepts an existing :class:`Device`, a string such as ``"cpu"`` or
+    ``"cuda:0"``, or ``None`` (meaning the default CPU device).
+    """
+    if spec is None:
+        return CPU
+    if isinstance(spec, Device):
+        return spec
+    if not isinstance(spec, str):
+        raise DeviceError(f"cannot interpret {spec!r} as a device")
+    text = spec.strip().lower()
+    if ":" in text:
+        kind, _, index_text = text.partition(":")
+        try:
+            index = int(index_text)
+        except ValueError:
+            raise DeviceError(f"invalid device index in {spec!r}") from None
+        return Device(kind, index)
+    return Device(text, 0)
+
+
+CPU = Device("cpu", 0)
+CUDA = Device("cuda", 0)
+WASM = Device("wasm", 0)

@@ -1,0 +1,92 @@
+"""Tensor element types supported by the mini tensor runtime.
+
+The runtime supports the small set of dtypes TQP needs for relational data:
+integers for keys/dates/string code points, floats for measures, and booleans
+for filter masks.  Each :class:`DType` wraps the corresponding numpy dtype so
+kernels can stay thin wrappers around numpy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+import numpy as np
+
+from repro.errors import DTypeError
+
+
+@dataclasses.dataclass(frozen=True)
+class DType:
+    """A tensor element type.
+
+    Attributes:
+        name: canonical name (``"float32"``, ``"int64"``, ...).
+        np_dtype: the numpy dtype objects kernels operate on.
+        is_floating: True for float types.
+        is_integer: True for (signed or unsigned) integer types.
+    """
+
+    name: str
+    np_dtype: np.dtype
+    is_floating: bool
+    is_integer: bool
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.is_floating or self.is_integer
+
+    @property
+    def itemsize(self) -> int:
+        return self.np_dtype.itemsize
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"repro.{self.name}"
+
+
+float32 = DType("float32", np.dtype(np.float32), True, False)
+float64 = DType("float64", np.dtype(np.float64), True, False)
+int8 = DType("int8", np.dtype(np.int8), False, True)
+int32 = DType("int32", np.dtype(np.int32), False, True)
+int64 = DType("int64", np.dtype(np.int64), False, True)
+uint8 = DType("uint8", np.dtype(np.uint8), False, True)
+bool_ = DType("bool", np.dtype(np.bool_), False, False)
+
+ALL_DTYPES = (float32, float64, int8, int32, int64, uint8, bool_)
+
+_BY_NAME = {d.name: d for d in ALL_DTYPES}
+_BY_NP = {d.np_dtype: d for d in ALL_DTYPES}
+
+
+def by_name(name: str) -> DType:
+    """Look up a dtype by canonical name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise DTypeError(f"unknown dtype name: {name!r}") from None
+
+
+def from_numpy(np_dtype: Any) -> DType:
+    """Map a numpy dtype (or anything np.dtype accepts) to a runtime DType."""
+    resolved = np.dtype(np_dtype)
+    if resolved in _BY_NP:
+        return _BY_NP[resolved]
+    # Promote unsupported widths to the nearest supported dtype so that data
+    # ingestion (e.g. int16 CSV columns) does not fail needlessly.
+    if np.issubdtype(resolved, np.floating):
+        return float64
+    if np.issubdtype(resolved, np.signedinteger):
+        return int64
+    if np.issubdtype(resolved, np.unsignedinteger):
+        return int64
+    if np.issubdtype(resolved, np.bool_):
+        return bool_
+    raise DTypeError(f"unsupported numpy dtype: {resolved}")
+
+
+def result_type(*dtypes: DType) -> DType:
+    """Numpy-style type promotion restricted to the supported dtype set."""
+    if not dtypes:
+        raise DTypeError("result_type() needs at least one dtype")
+    promoted = np.result_type(*[d.np_dtype for d in dtypes])
+    return from_numpy(promoted)

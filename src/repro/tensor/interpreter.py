@@ -1,0 +1,76 @@
+"""Interpreter for traced tensor graphs.
+
+The interpreter replays a :class:`~repro.tensor.graph.Graph` over new inputs.
+It is shared by the TorchScript-like ("scripted") and ONNX-like targets; the
+WASM backend wraps it with a de-optimized dispatch loop (see
+``repro.backends.wasm_sim``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import GraphError
+from repro.tensor import ops
+from repro.tensor.device import Device, parse_device
+from repro.tensor.graph import Graph
+from repro.tensor.tensor import Tensor
+
+
+class GraphInterpreter:
+    """Executes a graph node-by-node.
+
+    Args:
+        graph: the tensor program to run.
+        per_node_overhead_s: artificial fixed cost added per node execution.
+            0 for the native targets; the WASM simulation sets this to a
+            positive value to model interpreter/JS dispatch overheads.
+    """
+
+    def __init__(self, graph: Graph, per_node_overhead_s: float = 0.0):
+        graph.validate()
+        self.graph = graph
+        self.per_node_overhead_s = per_node_overhead_s
+
+    def run(self, inputs: Sequence[Tensor], device: Device | str | None = None
+            ) -> list[Tensor]:
+        """Run the graph; returns one tensor per graph output."""
+        dev = parse_device(device) if device is not None else None
+        if len(inputs) != len(self.graph.inputs):
+            raise GraphError(
+                f"graph expects {len(self.graph.inputs)} inputs, got {len(inputs)}"
+            )
+        env: dict[int, Tensor] = {}
+        for value_id, tensor in zip(self.graph.inputs, inputs):
+            env[value_id] = tensor if dev is None else tensor.to(dev)
+        for value_id, array in self.graph.initializers.items():
+            env[value_id] = Tensor(array, dev if dev is not None else
+                                   (inputs[0].device if inputs else parse_device(None)))
+        for node in self.graph.nodes:
+            node_inputs = [env[value_id] for value_id in node.inputs]
+            node_device = dev
+            if node.op == "to_device":
+                node_device = parse_device(node.attrs.get("device"))
+            outputs = ops.execute_op(node.op, node_inputs, node.attrs, node_device)
+            if self.per_node_overhead_s:
+                self._burn(self.per_node_overhead_s)
+            if len(outputs) != len(node.outputs):
+                raise GraphError(
+                    f"op {node.op} produced {len(outputs)} outputs, "
+                    f"expected {len(node.outputs)}"
+                )
+            for value_id, tensor in zip(node.outputs, outputs):
+                env[value_id] = tensor
+        missing = [vid for vid in self.graph.outputs if vid not in env]
+        if missing:
+            raise GraphError(f"graph outputs never produced: {missing}")
+        return [env[value_id] for value_id in self.graph.outputs]
+
+    @staticmethod
+    def _burn(seconds: float) -> None:
+        """Busy-wait used to model fixed per-node dispatch overhead."""
+        import time
+
+        end = time.perf_counter() + seconds
+        while time.perf_counter() < end:
+            pass

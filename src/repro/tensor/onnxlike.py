@@ -1,0 +1,117 @@
+"""ONNX-like portable graph format.
+
+The paper's web backend exports queries to ONNX and runs them with ONNX
+Runtime Web (WASM).  This module provides the equivalent: a JSON-serializable
+model format (``repro-onnx`` version 1) with initializers, nodes and attrs,
+plus a loader that reconstructs an executable graph.  The WASM-simulation
+backend consumes these files.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.tensor.graph import Graph, Value
+
+FORMAT_NAME = "repro-onnx"
+FORMAT_VERSION = 1
+
+
+def _encode_array(array: np.ndarray) -> dict[str, Any]:
+    return {
+        "dtype": str(array.dtype),
+        "shape": list(array.shape),
+        "data": array.reshape(-1).tolist(),
+    }
+
+
+def _decode_array(payload: dict[str, Any]) -> np.ndarray:
+    array = np.array(payload["data"], dtype=np.dtype(payload["dtype"]))
+    return array.reshape(tuple(payload["shape"]))
+
+
+def export_graph(graph: Graph) -> dict[str, Any]:
+    """Serialize ``graph`` into a JSON-compatible model dict."""
+    graph.validate()
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "name": graph.name,
+        "inputs": [
+            {"id": vid, "name": graph.values[vid].name} for vid in graph.inputs
+        ],
+        "outputs": list(graph.outputs),
+        "initializers": {
+            str(vid): _encode_array(arr) for vid, arr in graph.initializers.items()
+        },
+        "nodes": [
+            {"op": n.op, "inputs": n.inputs, "outputs": n.outputs, "attrs": n.attrs}
+            for n in graph.nodes
+        ],
+    }
+
+
+def import_graph(model: dict[str, Any]) -> Graph:
+    """Reconstruct a :class:`Graph` from a model dict produced by export_graph."""
+    if model.get("format") != FORMAT_NAME:
+        raise GraphError(f"not a {FORMAT_NAME} model: format={model.get('format')!r}")
+    if model.get("version") != FORMAT_VERSION:
+        raise GraphError(f"unsupported {FORMAT_NAME} version: {model.get('version')!r}")
+    graph = Graph(model.get("name", "imported"))
+    max_id = -1
+
+    def declare(vid: int, name: str) -> None:
+        nonlocal max_id
+        graph.values[vid] = Value(vid, name)
+        max_id = max(max_id, vid)
+
+    for item in model["inputs"]:
+        declare(item["id"], item["name"])
+        graph.inputs.append(item["id"])
+    for vid_text, payload in model["initializers"].items():
+        vid = int(vid_text)
+        declare(vid, "const")
+        graph.initializers[vid] = _decode_array(payload)
+    for node_payload in model["nodes"]:
+        for vid in node_payload["outputs"]:
+            declare(vid, "v")
+        graph.nodes.append(
+            _make_node(node_payload["op"], node_payload["inputs"],
+                       node_payload["outputs"], node_payload.get("attrs") or {})
+        )
+    graph.set_outputs(model["outputs"])
+    import itertools
+
+    graph._counter = itertools.count(max_id + 1)
+    graph.validate()
+    return graph
+
+
+def _make_node(op: str, inputs: list[int], outputs: list[int], attrs: dict):
+    from repro.tensor.graph import Node
+
+    return Node(op, list(inputs), list(outputs), dict(attrs))
+
+
+def save(graph: Graph, path: str) -> None:
+    """Write the serialized graph to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(export_graph(graph), f)
+
+
+def load(path: str) -> Graph:
+    """Load a graph previously written by :func:`save`."""
+    with open(path, "r", encoding="utf-8") as f:
+        return import_graph(json.load(f))
+
+
+def dumps(graph: Graph) -> str:
+    return json.dumps(export_graph(graph))
+
+
+def loads(text: str) -> Graph:
+    return import_graph(json.loads(text))

@@ -1,0 +1,790 @@
+"""Functional tensor operations (the kernel vocabulary of the runtime).
+
+Every relational operator TQP generates is ultimately a composition of the ops
+defined here — the same situation as the paper, where relational operators are
+expressed with PyTorch ops.  Each op:
+
+* executes eagerly with a numpy kernel,
+* reports an event to the active profiler (operator name, bytes moved, wall
+  time) — this powers the Figure-2 runtime breakdown and the simulated-device
+  cost models, and
+* records a node into the active trace, if any — this powers the
+  TorchScript-like and ONNX-like compilation targets.
+
+Ops are registered in :data:`OP_REGISTRY` so the graph interpreter can replay
+traced programs by name.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.errors import DTypeError, TensorRuntimeError
+from repro.tensor import dtype as dtypes
+from repro.tensor.device import CPU, Device, parse_device
+from repro.tensor.tensor import Tensor, same_device
+
+
+class OpDef:
+    """Definition of a primitive operation.
+
+    Attributes:
+        name: unique op name used in traces and serialized graphs.
+        kernel: function ``(arrays, attrs) -> list[np.ndarray]``.
+        n_outputs: number of output tensors the kernel produces.
+        elementwise: hint used by graph passes (fusion/CSE) and cost models.
+    """
+
+    __slots__ = ("name", "kernel", "n_outputs", "elementwise")
+
+    def __init__(
+        self,
+        name: str,
+        kernel: Callable[[list[np.ndarray], dict], list[np.ndarray]],
+        n_outputs: int = 1,
+        elementwise: bool = False,
+    ):
+        self.name = name
+        self.kernel = kernel
+        self.n_outputs = n_outputs
+        self.elementwise = elementwise
+
+
+OP_REGISTRY: dict[str, OpDef] = {}
+
+
+def register_op(
+    name: str, n_outputs: int = 1, elementwise: bool = False
+) -> Callable[[Callable], Callable]:
+    """Register ``kernel`` under ``name`` in the global op registry."""
+
+    def decorator(kernel: Callable) -> Callable:
+        if name in OP_REGISTRY:
+            raise TensorRuntimeError(f"op {name!r} registered twice")
+        OP_REGISTRY[name] = OpDef(name, kernel, n_outputs, elementwise)
+        return kernel
+
+    return decorator
+
+
+def op_exists(name: str) -> bool:
+    return name in OP_REGISTRY
+
+
+def _record_profile(name: str, inputs: Sequence[Tensor], outputs: Sequence[Tensor],
+                    elapsed_s: float, device: Device) -> None:
+    from repro.tensor import profiler as _profiler
+
+    prof = _profiler.current_profiler()
+    if prof is None:
+        return
+    in_bytes = sum(t.nbytes for t in inputs)
+    out_bytes = sum(t.nbytes for t in outputs)
+    prof.record(name, elapsed_s, in_bytes, out_bytes, device)
+
+
+def _record_trace(name: str, inputs: Sequence[Tensor], outputs: Sequence[Tensor],
+                  attrs: dict) -> None:
+    from repro.tensor import tracing as _tracing
+
+    ctx = _tracing.current_trace()
+    if ctx is None:
+        return
+    ctx.record(name, list(inputs), list(outputs), dict(attrs))
+
+
+def execute_op(name: str, inputs: Sequence[Tensor], attrs: dict | None = None,
+               device: Device | None = None) -> list[Tensor]:
+    """Execute a registered op eagerly (profiled, but *not* traced).
+
+    This is the entry point used by the graph interpreter; the public
+    functional wrappers below add trace recording on top.
+    """
+    attrs = attrs or {}
+    opdef = OP_REGISTRY.get(name)
+    if opdef is None:
+        raise TensorRuntimeError(f"unknown op: {name!r}")
+    if device is None:
+        device = same_device(inputs) if inputs else CPU
+    arrays = [t.data for t in inputs]
+    start = time.perf_counter()
+    results = opdef.kernel(arrays, attrs)
+    elapsed = time.perf_counter() - start
+    outputs = [Tensor(np.asarray(r), device) for r in results]
+    _record_profile(name, inputs, outputs, elapsed, device)
+    return outputs
+
+
+def _apply(name: str, inputs: Sequence[Tensor], attrs: dict | None = None,
+           device: Device | None = None) -> Tensor:
+    attrs = attrs or {}
+    outputs = execute_op(name, inputs, attrs, device)
+    _record_trace(name, inputs, outputs, attrs)
+    return outputs[0]
+
+
+def _apply_multi(name: str, inputs: Sequence[Tensor], attrs: dict | None = None,
+                 device: Device | None = None) -> list[Tensor]:
+    attrs = attrs or {}
+    outputs = execute_op(name, inputs, attrs, device)
+    _record_trace(name, inputs, outputs, attrs)
+    return outputs
+
+
+def _coerce(value: Any, device: Device | None = None, like: Tensor | None = None) -> Tensor:
+    """Turn scalars / arrays into tensors, leaving tensors untouched."""
+    if isinstance(value, Tensor):
+        return value
+    if like is not None and device is None:
+        device = like.device
+    return tensor(value, device=device)
+
+
+def _pair(a: Any, b: Any) -> tuple[Tensor, Tensor, Device]:
+    if isinstance(a, Tensor) and not isinstance(b, Tensor):
+        b = _coerce(b, like=a)
+    elif isinstance(b, Tensor) and not isinstance(a, Tensor):
+        a = _coerce(a, like=b)
+    else:
+        a = _coerce(a)
+        b = _coerce(b)
+    device = same_device([a, b])
+    return a, b, device
+
+
+# ---------------------------------------------------------------------------
+# creation / movement / casting
+# ---------------------------------------------------------------------------
+
+
+def tensor(data: Any, dtype: dtypes.DType | str | None = None,
+           device: Device | str | None = None) -> Tensor:
+    """Create a tensor from a scalar, sequence, or numpy array."""
+    dev = parse_device(device)
+    if isinstance(data, Tensor):
+        arr = data.data
+    else:
+        arr = np.asarray(data)
+    if dtype is not None:
+        dt = dtypes.by_name(dtype) if isinstance(dtype, str) else dtype
+        arr = arr.astype(dt.np_dtype, copy=False)
+    else:
+        # Normalize python ints/floats/bools and unsupported widths.
+        dtypes.from_numpy(arr.dtype)  # raises for truly unsupported kinds
+        arr = arr.astype(dtypes.from_numpy(arr.dtype).np_dtype, copy=False)
+    return Tensor(arr, dev)
+
+
+def constant(data: Any, dtype: dtypes.DType | str | None = None,
+             device: Device | str | None = None) -> Tensor:
+    """Alias of :func:`tensor` used by compilers for literal values."""
+    return tensor(data, dtype=dtype, device=device)
+
+
+@register_op("zeros")
+def _zeros_kernel(arrays: list[np.ndarray], attrs: dict) -> list[np.ndarray]:
+    dt = dtypes.by_name(attrs.get("dtype", "float64"))
+    return [np.zeros(tuple(attrs["shape"]), dtype=dt.np_dtype)]
+
+
+def zeros(shape: Sequence[int] | int, dtype: dtypes.DType | str = "float64",
+          device: Device | str | None = None) -> Tensor:
+    if isinstance(shape, int):
+        shape = (shape,)
+    name = dtype if isinstance(dtype, str) else dtype.name
+    return _apply("zeros", [], {"shape": list(shape), "dtype": name},
+                  device=parse_device(device))
+
+
+@register_op("full")
+def _full_kernel(arrays: list[np.ndarray], attrs: dict) -> list[np.ndarray]:
+    dt = dtypes.by_name(attrs.get("dtype", "float64"))
+    return [np.full(tuple(attrs["shape"]), attrs["value"], dtype=dt.np_dtype)]
+
+
+def full(shape: Sequence[int] | int, value: Any, dtype: dtypes.DType | str = "float64",
+         device: Device | str | None = None) -> Tensor:
+    if isinstance(shape, int):
+        shape = (shape,)
+    name = dtype if isinstance(dtype, str) else dtype.name
+    return _apply("full", [], {"shape": list(shape), "value": value, "dtype": name},
+                  device=parse_device(device))
+
+
+def ones(shape: Sequence[int] | int, dtype: dtypes.DType | str = "float64",
+         device: Device | str | None = None) -> Tensor:
+    return full(shape, 1, dtype=dtype, device=device)
+
+
+@register_op("arange")
+def _arange_kernel(arrays: list[np.ndarray], attrs: dict) -> list[np.ndarray]:
+    dt = dtypes.by_name(attrs.get("dtype", "int64"))
+    return [np.arange(attrs["start"], attrs["stop"], attrs["step"], dtype=dt.np_dtype)]
+
+
+def arange(start: int, stop: int | None = None, step: int = 1,
+           dtype: dtypes.DType | str = "int64",
+           device: Device | str | None = None) -> Tensor:
+    if stop is None:
+        start, stop = 0, start
+    name = dtype if isinstance(dtype, str) else dtype.name
+    return _apply("arange", [],
+                  {"start": start, "stop": stop, "step": step, "dtype": name},
+                  device=parse_device(device))
+
+
+@register_op("cast", elementwise=True)
+def _cast_kernel(arrays: list[np.ndarray], attrs: dict) -> list[np.ndarray]:
+    dt = dtypes.by_name(attrs["dtype"])
+    return [arrays[0].astype(dt.np_dtype)]
+
+
+def cast(a: Tensor, dtype: dtypes.DType | str) -> Tensor:
+    name = dtype if isinstance(dtype, str) else dtype.name
+    dtypes.by_name(name)  # validate
+    return _apply("cast", [a], {"dtype": name})
+
+
+@register_op("to_device")
+def _to_device_kernel(arrays: list[np.ndarray], attrs: dict) -> list[np.ndarray]:
+    # Data never actually moves (all kernels are numpy); the event matters for
+    # the cost models, which charge PCIe-style transfer time for it.
+    return [arrays[0]]
+
+
+def to_device(a: Tensor, device: Device | str) -> Tensor:
+    dev = parse_device(device)
+    if dev == a.device:
+        return a
+    return _apply("to_device", [a], {"device": str(dev)}, device=dev)
+
+
+# ---------------------------------------------------------------------------
+# elementwise arithmetic
+# ---------------------------------------------------------------------------
+
+
+def _binary_op(name: str, np_fn: Callable) -> Callable[[Any, Any], Tensor]:
+    @register_op(name, elementwise=True)
+    def _kernel(arrays: list[np.ndarray], attrs: dict, _fn=np_fn) -> list[np.ndarray]:
+        return [_fn(arrays[0], arrays[1])]
+
+    def api(a: Any, b: Any) -> Tensor:
+        ta, tb, device = _pair(a, b)
+        return _apply(name, [ta, tb], device=device)
+
+    api.__name__ = name
+    api.__doc__ = f"Elementwise ``{name}`` with numpy broadcasting."
+    return api
+
+
+add = _binary_op("add", np.add)
+sub = _binary_op("sub", np.subtract)
+mul = _binary_op("mul", np.multiply)
+div = _binary_op("div", np.true_divide)
+floordiv = _binary_op("floordiv", np.floor_divide)
+mod = _binary_op("mod", np.mod)
+pow = _binary_op("pow", np.power)  # noqa: A001 - mirrors torch.pow
+minimum = _binary_op("minimum", np.minimum)
+maximum = _binary_op("maximum", np.maximum)
+
+eq = _binary_op("eq", np.equal)
+ne = _binary_op("ne", np.not_equal)
+lt = _binary_op("lt", np.less)
+le = _binary_op("le", np.less_equal)
+gt = _binary_op("gt", np.greater)
+ge = _binary_op("ge", np.greater_equal)
+
+logical_and = _binary_op("logical_and", np.logical_and)
+logical_or = _binary_op("logical_or", np.logical_or)
+logical_xor = _binary_op("logical_xor", np.logical_xor)
+
+
+def _unary_op(name: str, np_fn: Callable) -> Callable[[Any], Tensor]:
+    @register_op(name, elementwise=True)
+    def _kernel(arrays: list[np.ndarray], attrs: dict, _fn=np_fn) -> list[np.ndarray]:
+        return [_fn(arrays[0])]
+
+    def api(a: Any) -> Tensor:
+        return _apply(name, [_coerce(a)])
+
+    api.__name__ = name
+    api.__doc__ = f"Elementwise ``{name}``."
+    return api
+
+
+neg = _unary_op("neg", np.negative)
+abs_ = _unary_op("abs", np.abs)
+exp = _unary_op("exp", np.exp)
+log = _unary_op("log", np.log)
+sqrt = _unary_op("sqrt", np.sqrt)
+floor = _unary_op("floor", np.floor)
+ceil = _unary_op("ceil", np.ceil)
+round_ = _unary_op("round", np.round)
+sign = _unary_op("sign", np.sign)
+logical_not = _unary_op("logical_not", np.logical_not)
+isnan = _unary_op("isnan", np.isnan)
+tanh = _unary_op("tanh", np.tanh)
+relu = _unary_op("relu", lambda x: np.maximum(x, 0))
+sigmoid = _unary_op("sigmoid", lambda x: 1.0 / (1.0 + np.exp(-x)))
+
+
+@register_op("clip", elementwise=True)
+def _clip_kernel(arrays: list[np.ndarray], attrs: dict) -> list[np.ndarray]:
+    return [np.clip(arrays[0], attrs.get("min"), attrs.get("max"))]
+
+
+def clip(a: Tensor, min_value: float | None = None, max_value: float | None = None) -> Tensor:
+    return _apply("clip", [_coerce(a)], {"min": min_value, "max": max_value})
+
+
+@register_op("where", elementwise=True)
+def _where_kernel(arrays: list[np.ndarray], attrs: dict) -> list[np.ndarray]:
+    return [np.where(arrays[0], arrays[1], arrays[2])]
+
+
+def where(cond: Tensor, a: Any, b: Any) -> Tensor:
+    cond = _coerce(cond)
+    a = _coerce(a, like=cond)
+    b = _coerce(b, like=cond)
+    device = same_device([cond, a, b])
+    return _apply("where", [cond, a, b], device=device)
+
+
+@register_op("isin")
+def _isin_kernel(arrays: list[np.ndarray], attrs: dict) -> list[np.ndarray]:
+    return [np.isin(arrays[0], arrays[1])]
+
+
+def isin(a: Tensor, values: Tensor) -> Tensor:
+    """Elementwise membership test of ``a`` against the 1-d tensor ``values``."""
+    ta, tv, device = _pair(a, values)
+    return _apply("isin", [ta, tv], device=device)
+
+
+# ---------------------------------------------------------------------------
+# reductions
+# ---------------------------------------------------------------------------
+
+
+def _reduction_op(name: str, np_fn: Callable) -> Callable:
+    @register_op(name)
+    def _kernel(arrays: list[np.ndarray], attrs: dict, _fn=np_fn) -> list[np.ndarray]:
+        axis = attrs.get("axis")
+        keepdims = attrs.get("keepdims", False)
+        if axis is not None:
+            axis = int(axis)
+        return [np.asarray(_fn(arrays[0], axis=axis, keepdims=keepdims))]
+
+    def api(a: Tensor, axis: int | None = None, keepdims: bool = False) -> Tensor:
+        return _apply(name, [_coerce(a)], {"axis": axis, "keepdims": keepdims})
+
+    api.__name__ = name
+    api.__doc__ = f"Reduction ``{name}`` over ``axis`` (None = all elements)."
+    return api
+
+
+sum_ = _reduction_op("sum", np.sum)
+prod = _reduction_op("prod", np.prod)
+min_ = _reduction_op("min", np.min)
+max_ = _reduction_op("max", np.max)
+mean = _reduction_op("mean", np.mean)
+any_ = _reduction_op("any", np.any)
+all_ = _reduction_op("all", np.all)
+argmax = _reduction_op("argmax", np.argmax)
+argmin = _reduction_op("argmin", np.argmin)
+
+
+@register_op("count_nonzero")
+def _count_nonzero_kernel(arrays: list[np.ndarray], attrs: dict) -> list[np.ndarray]:
+    axis = attrs.get("axis")
+    return [np.asarray(np.count_nonzero(arrays[0], axis=axis))]
+
+
+def count_nonzero(a: Tensor, axis: int | None = None) -> Tensor:
+    return _apply("count_nonzero", [_coerce(a)], {"axis": axis})
+
+
+@register_op("cumsum")
+def _cumsum_kernel(arrays: list[np.ndarray], attrs: dict) -> list[np.ndarray]:
+    return [np.cumsum(arrays[0], axis=attrs.get("axis"))]
+
+
+def cumsum(a: Tensor, axis: int | None = None) -> Tensor:
+    return _apply("cumsum", [_coerce(a)], {"axis": axis})
+
+
+# ---------------------------------------------------------------------------
+# shape manipulation
+# ---------------------------------------------------------------------------
+
+
+@register_op("reshape")
+def _reshape_kernel(arrays: list[np.ndarray], attrs: dict) -> list[np.ndarray]:
+    return [arrays[0].reshape(tuple(attrs["shape"]))]
+
+
+def reshape(a: Tensor, shape: Sequence[int]) -> Tensor:
+    return _apply("reshape", [_coerce(a)], {"shape": list(shape)})
+
+
+@register_op("concat")
+def _concat_kernel(arrays: list[np.ndarray], attrs: dict) -> list[np.ndarray]:
+    return [np.concatenate(arrays, axis=attrs.get("axis", 0))]
+
+
+def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    ts = [_coerce(t) for t in tensors]
+    if not ts:
+        raise TensorRuntimeError("concat() needs at least one tensor")
+    return _apply("concat", ts, {"axis": axis}, device=same_device(ts))
+
+
+@register_op("stack")
+def _stack_kernel(arrays: list[np.ndarray], attrs: dict) -> list[np.ndarray]:
+    return [np.stack(arrays, axis=attrs.get("axis", 0))]
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    ts = [_coerce(t) for t in tensors]
+    if not ts:
+        raise TensorRuntimeError("stack() needs at least one tensor")
+    return _apply("stack", ts, {"axis": axis}, device=same_device(ts))
+
+
+@register_op("slice")
+def _slice_kernel(arrays: list[np.ndarray], attrs: dict) -> list[np.ndarray]:
+    key = _decode_slice_key(attrs["key"])
+    return [np.asarray(arrays[0][key])]
+
+
+def _encode_slice_key(key: Any) -> Any:
+    """Encode a (possibly nested) slice key into JSON-friendly structures."""
+    if isinstance(key, tuple):
+        return {"tuple": [_encode_slice_key(k) for k in key]}
+    if isinstance(key, slice):
+        return {"slice": [key.start, key.stop, key.step]}
+    if isinstance(key, (int, np.integer)):
+        return {"int": int(key)}
+    if key is None:
+        return {"none": True}
+    if key is Ellipsis:
+        return {"ellipsis": True}
+    raise TensorRuntimeError(f"unsupported slice key component: {key!r}")
+
+
+def _decode_slice_key(encoded: Any) -> Any:
+    if "tuple" in encoded:
+        return tuple(_decode_slice_key(k) for k in encoded["tuple"])
+    if "slice" in encoded:
+        start, stop, step = encoded["slice"]
+        return slice(start, stop, step)
+    if "int" in encoded:
+        return encoded["int"]
+    if "none" in encoded:
+        return None
+    if "ellipsis" in encoded:
+        return Ellipsis
+    raise TensorRuntimeError(f"cannot decode slice key: {encoded!r}")
+
+
+def slice_(a: Tensor, key: Any) -> Tensor:
+    """Basic (non-tensor) indexing: ints, slices, tuples thereof."""
+    return _apply("slice", [_coerce(a)], {"key": _encode_slice_key(key)})
+
+
+def narrow(a: Tensor, axis: int, start: int, length: int) -> Tensor:
+    """Return a contiguous slice of ``length`` elements along ``axis``."""
+    key: list[Any] = [slice(None)] * a.ndim
+    key[axis] = slice(start, start + length)
+    return slice_(a, tuple(key))
+
+
+@register_op("pad2d")
+def _pad2d_kernel(arrays: list[np.ndarray], attrs: dict) -> list[np.ndarray]:
+    width = int(attrs["width"])
+    value = attrs.get("value", 0)
+    a = arrays[0]
+    if a.ndim != 2:
+        raise TensorRuntimeError("pad2d expects a 2-d tensor")
+    if a.shape[1] >= width:
+        return [a[:, :width]]
+    out = np.full((a.shape[0], width), value, dtype=a.dtype)
+    out[:, : a.shape[1]] = a
+    return [out]
+
+
+def pad2d(a: Tensor, width: int, value: Any = 0) -> Tensor:
+    """Pad (or truncate) the second dimension of a 2-d tensor to ``width``.
+
+    Used to align string tensors of different maximum lengths before
+    comparisons, as required by the paper's padded string representation.
+    """
+    return _apply("pad2d", [_coerce(a)], {"width": width, "value": value})
+
+
+@register_op("sliding_window")
+def _sliding_window_kernel(arrays: list[np.ndarray], attrs: dict) -> list[np.ndarray]:
+    width = int(attrs["width"])
+    a = arrays[0]
+    if a.ndim != 2:
+        raise TensorRuntimeError("sliding_window expects a 2-d tensor")
+    if a.shape[1] < width:
+        pad = np.zeros((a.shape[0], width - a.shape[1]), dtype=a.dtype)
+        a = np.concatenate([a, pad], axis=1)
+    view = np.lib.stride_tricks.sliding_window_view(a, width, axis=1)
+    return [np.ascontiguousarray(view)]
+
+
+def sliding_window(a: Tensor, width: int) -> Tensor:
+    """All width-``width`` windows of each row of a 2-d tensor.
+
+    Output shape is ``(n, m - width + 1, width)``; this is the building block
+    of the ``LIKE '%pattern%'`` implementation over padded string tensors.
+    """
+    return _apply("sliding_window", [_coerce(a)], {"width": width})
+
+
+# ---------------------------------------------------------------------------
+# gather / scatter / selection
+# ---------------------------------------------------------------------------
+
+
+@register_op("take")
+def _take_kernel(arrays: list[np.ndarray], attrs: dict) -> list[np.ndarray]:
+    return [np.take(arrays[0], arrays[1], axis=attrs.get("axis", 0))]
+
+
+def take(a: Tensor, indices: Tensor, axis: int = 0) -> Tensor:
+    """Gather rows (or elements along ``axis``) of ``a`` at ``indices``."""
+    ta, ti, device = _pair(a, indices)
+    return _apply("take", [ta, ti], {"axis": axis}, device=device)
+
+
+@register_op("boolean_mask")
+def _boolean_mask_kernel(arrays: list[np.ndarray], attrs: dict) -> list[np.ndarray]:
+    return [arrays[0][arrays[1].astype(bool)]]
+
+
+def boolean_mask(a: Tensor, mask: Tensor) -> Tensor:
+    """Compact the rows of ``a`` selected by boolean ``mask``."""
+    ta, tm, device = _pair(a, mask)
+    return _apply("boolean_mask", [ta, tm], device=device)
+
+
+@register_op("nonzero")
+def _nonzero_kernel(arrays: list[np.ndarray], attrs: dict) -> list[np.ndarray]:
+    return [np.nonzero(arrays[0])[0].astype(np.int64)]
+
+
+def nonzero(mask: Tensor) -> Tensor:
+    """Indices of True entries of a 1-d boolean tensor."""
+    return _apply("nonzero", [_coerce(mask)])
+
+
+@register_op("scatter_add")
+def _scatter_add_kernel(arrays: list[np.ndarray], attrs: dict) -> list[np.ndarray]:
+    size = int(attrs["size"])
+    index, values = arrays
+    out = np.zeros(size, dtype=np.result_type(values.dtype, np.float64)
+                   if values.dtype.kind == "f" else values.dtype)
+    np.add.at(out, index, values)
+    return [out]
+
+
+def scatter_add(index: Tensor, values: Tensor, size: int) -> Tensor:
+    """``out[index[i]] += values[i]`` over a fresh zero tensor of ``size``."""
+    ti, tv, device = _pair(index, values)
+    return _apply("scatter_add", [ti, tv], {"size": size}, device=device)
+
+
+@register_op("scatter_min")
+def _scatter_min_kernel(arrays: list[np.ndarray], attrs: dict) -> list[np.ndarray]:
+    size = int(attrs["size"])
+    index, values = arrays
+    if values.dtype.kind == "f":
+        fill = np.inf
+    else:
+        fill = np.iinfo(values.dtype).max
+    out = np.full(size, fill, dtype=values.dtype)
+    np.minimum.at(out, index, values)
+    return [out]
+
+
+def scatter_min(index: Tensor, values: Tensor, size: int) -> Tensor:
+    ti, tv, device = _pair(index, values)
+    return _apply("scatter_min", [ti, tv], {"size": size}, device=device)
+
+
+@register_op("scatter_max")
+def _scatter_max_kernel(arrays: list[np.ndarray], attrs: dict) -> list[np.ndarray]:
+    size = int(attrs["size"])
+    index, values = arrays
+    if values.dtype.kind == "f":
+        fill = -np.inf
+    else:
+        fill = np.iinfo(values.dtype).min
+    out = np.full(size, fill, dtype=values.dtype)
+    np.maximum.at(out, index, values)
+    return [out]
+
+
+def scatter_max(index: Tensor, values: Tensor, size: int) -> Tensor:
+    ti, tv, device = _pair(index, values)
+    return _apply("scatter_max", [ti, tv], {"size": size}, device=device)
+
+
+@register_op("bincount")
+def _bincount_kernel(arrays: list[np.ndarray], attrs: dict) -> list[np.ndarray]:
+    minlength = int(attrs.get("minlength", 0))
+    if len(arrays) > 1:
+        return [np.bincount(arrays[0], weights=arrays[1], minlength=minlength)]
+    return [np.bincount(arrays[0], minlength=minlength).astype(np.int64)]
+
+
+def bincount(index: Tensor, weights: Tensor | None = None, minlength: int = 0) -> Tensor:
+    inputs = [_coerce(index)]
+    if weights is not None:
+        inputs.append(_coerce(weights, like=inputs[0]))
+    return _apply("bincount", inputs, {"minlength": minlength},
+                  device=same_device(inputs))
+
+
+# ---------------------------------------------------------------------------
+# sorting / searching / grouping
+# ---------------------------------------------------------------------------
+
+
+@register_op("argsort")
+def _argsort_kernel(arrays: list[np.ndarray], attrs: dict) -> list[np.ndarray]:
+    kind = attrs.get("kind", "stable")
+    return [np.argsort(arrays[0], kind=kind, axis=attrs.get("axis", -1)).astype(np.int64)]
+
+
+def argsort(a: Tensor, axis: int = -1, stable: bool = True) -> Tensor:
+    return _apply("argsort", [_coerce(a)],
+                  {"axis": axis, "kind": "stable" if stable else "quicksort"})
+
+
+@register_op("sort")
+def _sort_kernel(arrays: list[np.ndarray], attrs: dict) -> list[np.ndarray]:
+    return [np.sort(arrays[0], kind="stable", axis=attrs.get("axis", -1))]
+
+
+def sort(a: Tensor, axis: int = -1) -> Tensor:
+    return _apply("sort", [_coerce(a)], {"axis": axis})
+
+
+@register_op("lexsort")
+def _lexsort_kernel(arrays: list[np.ndarray], attrs: dict) -> list[np.ndarray]:
+    # numpy lexsort: the *last* key is the primary key.
+    return [np.lexsort(tuple(arrays)).astype(np.int64)]
+
+
+def lexsort(keys: Sequence[Tensor]) -> Tensor:
+    """Indirect sort over multiple keys; the last key is the primary key."""
+    ts = [_coerce(k) for k in keys]
+    if not ts:
+        raise TensorRuntimeError("lexsort() needs at least one key")
+    return _apply("lexsort", ts, device=same_device(ts))
+
+
+@register_op("searchsorted")
+def _searchsorted_kernel(arrays: list[np.ndarray], attrs: dict) -> list[np.ndarray]:
+    side = attrs.get("side", "left")
+    return [np.searchsorted(arrays[0], arrays[1], side=side).astype(np.int64)]
+
+
+def searchsorted(sorted_values: Tensor, values: Tensor, side: str = "left") -> Tensor:
+    ta, tv, device = _pair(sorted_values, values)
+    return _apply("searchsorted", [ta, tv], {"side": side}, device=device)
+
+
+@register_op("unique", n_outputs=3)
+def _unique_kernel(arrays: list[np.ndarray], attrs: dict) -> list[np.ndarray]:
+    values, inverse, counts = np.unique(arrays[0], return_inverse=True, return_counts=True)
+    return [values, inverse.astype(np.int64), counts.astype(np.int64)]
+
+
+def unique(a: Tensor) -> tuple[Tensor, Tensor, Tensor]:
+    """Sorted unique values, inverse indices, and counts of a 1-d tensor."""
+    out = _apply_multi("unique", [_coerce(a)])
+    return out[0], out[1], out[2]
+
+
+@register_op("reduceat_sum")
+def _reduceat_sum_kernel(arrays: list[np.ndarray], attrs: dict) -> list[np.ndarray]:
+    data, offsets = arrays
+    if offsets.size == 0:
+        return [np.zeros(0, dtype=data.dtype)]
+    return [np.add.reduceat(data, offsets)]
+
+
+def reduceat_sum(data: Tensor, offsets: Tensor) -> Tensor:
+    """Segmented sum: ``offsets`` are the start index of each segment."""
+    td, to, device = _pair(data, offsets)
+    return _apply("reduceat_sum", [td, to], device=device)
+
+
+@register_op("repeat")
+def _repeat_kernel(arrays: list[np.ndarray], attrs: dict) -> list[np.ndarray]:
+    return [np.repeat(arrays[0], arrays[1], axis=attrs.get("axis"))]
+
+
+def repeat(a: Tensor, repeats: Tensor, axis: int | None = None) -> Tensor:
+    """Repeat each element of ``a`` by the matching count in ``repeats``.
+
+    The building block for materializing ragged join matches as flat index
+    vectors (left row *i* appears ``repeats[i]`` times).
+    """
+    ta, tr, device = _pair(a, repeats)
+    return _apply("repeat", [ta, tr], {"axis": axis}, device=device)
+
+
+@register_op("matmul")
+def _matmul_kernel(arrays: list[np.ndarray], attrs: dict) -> list[np.ndarray]:
+    return [np.matmul(arrays[0], arrays[1])]
+
+
+def matmul(a: Tensor, b: Tensor) -> Tensor:
+    ta, tb, device = _pair(a, b)
+    return _apply("matmul", [ta, tb], device=device)
+
+
+@register_op("softmax")
+def _softmax_kernel(arrays: list[np.ndarray], attrs: dict) -> list[np.ndarray]:
+    axis = attrs.get("axis", -1)
+    x = arrays[0]
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return [e / np.sum(e, axis=axis, keepdims=True)]
+
+
+def softmax(a: Tensor, axis: int = -1) -> Tensor:
+    return _apply("softmax", [_coerce(a)], {"axis": axis})
+
+
+@register_op("one_hot")
+def _one_hot_kernel(arrays: list[np.ndarray], attrs: dict) -> list[np.ndarray]:
+    depth = int(attrs["depth"])
+    idx = arrays[0].astype(np.int64)
+    out = np.zeros((idx.shape[0], depth), dtype=np.float64)
+    out[np.arange(idx.shape[0]), idx] = 1.0
+    return [out]
+
+
+def one_hot(indices: Tensor, depth: int) -> Tensor:
+    return _apply("one_hot", [_coerce(indices)], {"depth": depth})
+
+
+# Convenient python-keyword-free aliases (mirroring torch naming).
+absolute = abs_
+reduce_sum = sum_
+reduce_min = min_
+reduce_max = max_
+reduce_mean = mean
+reduce_any = any_
+reduce_all = all_

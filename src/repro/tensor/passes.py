@@ -1,0 +1,151 @@
+"""Graph optimization passes applied before execution on compiled targets.
+
+These are the tensor-level analogue of the rule-based IR optimizer TQP applies
+on relational plans: dead-code elimination, constant folding, common
+subexpression elimination, and a small peephole pass (redundant casts/device
+moves).  The ablation benchmark (``benchmarks/bench_ablation_passes.py``)
+measures their effect.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.tensor import ops
+from repro.tensor.graph import Graph, Node
+from repro.tensor.tensor import Tensor
+
+# Creation ops that only depend on attributes and therefore fold to constants.
+_CREATION_OPS = {"zeros", "full", "arange"}
+
+# Ops that must never be folded/merged because their semantics depend on the
+# execution environment rather than only on input values.
+_IMPURE_OPS = {"to_device"}
+
+
+def dead_code_elimination(graph: Graph) -> Graph:
+    """Drop nodes whose outputs do not (transitively) reach a graph output."""
+    live: set[int] = set(graph.outputs)
+    kept_reversed: list[Node] = []
+    for node in reversed(graph.nodes):
+        if any(out in live for out in node.outputs):
+            kept_reversed.append(node)
+            live.update(node.inputs)
+    graph.nodes = list(reversed(kept_reversed))
+    used = set(graph.outputs)
+    for node in graph.nodes:
+        used.update(node.inputs)
+    graph.initializers = {vid: arr for vid, arr in graph.initializers.items()
+                          if vid in used}
+    return graph
+
+
+def constant_folding(graph: Graph) -> Graph:
+    """Evaluate nodes whose inputs are all constants and inline the results."""
+    constant_ids = set(graph.initializers)
+    new_nodes: list[Node] = []
+    for node in graph.nodes:
+        foldable = (
+            node.op not in _IMPURE_OPS
+            and (node.op in _CREATION_OPS or node.inputs)
+            and all(vid in constant_ids for vid in node.inputs)
+        )
+        if not foldable:
+            new_nodes.append(node)
+            continue
+        inputs = [Tensor(graph.initializers[vid]) for vid in node.inputs]
+        outputs = ops.execute_op(node.op, inputs, node.attrs)
+        for value_id, tensor in zip(node.outputs, outputs):
+            graph.initializers[value_id] = tensor.data
+            constant_ids.add(value_id)
+    graph.nodes = new_nodes
+    return graph
+
+
+def _node_key(node: Node) -> str:
+    return json.dumps([node.op, node.inputs, node.attrs], sort_keys=True, default=str)
+
+
+def merge_duplicate_initializers(graph: Graph) -> Graph:
+    """Collapse constant initializers with identical contents into one value."""
+    seen: dict[tuple, int] = {}
+    replacements: dict[int, int] = {}
+    for value_id, array in list(graph.initializers.items()):
+        key = (str(array.dtype), array.shape, array.tobytes())
+        if key in seen:
+            replacements[value_id] = seen[key]
+            del graph.initializers[value_id]
+        else:
+            seen[key] = value_id
+    if replacements:
+        for node in graph.nodes:
+            node.inputs = [replacements.get(vid, vid) for vid in node.inputs]
+        graph.outputs = [replacements.get(vid, vid) for vid in graph.outputs]
+    return graph
+
+
+def common_subexpression_elimination(graph: Graph) -> Graph:
+    """Merge structurally identical nodes (same op, inputs, and attributes).
+
+    Duplicate constants are merged first so that e.g. two ``mul(x, 2.0)`` nodes
+    tracing two separate ``2.0`` literals are still recognized as identical.
+    """
+    merge_duplicate_initializers(graph)
+    seen: dict[str, Node] = {}
+    replacements: dict[int, int] = {}
+    new_nodes: list[Node] = []
+    for node in graph.nodes:
+        node.inputs = [replacements.get(vid, vid) for vid in node.inputs]
+        if node.op in _IMPURE_OPS:
+            new_nodes.append(node)
+            continue
+        key = _node_key(node)
+        if key in seen:
+            original = seen[key]
+            for old, new in zip(node.outputs, original.outputs):
+                replacements[old] = new
+        else:
+            seen[key] = node
+            new_nodes.append(node)
+    graph.nodes = new_nodes
+    graph.outputs = [replacements.get(vid, vid) for vid in graph.outputs]
+    return graph
+
+
+def peephole(graph: Graph) -> Graph:
+    """Small local rewrites: collapse cast→cast chains and no-op casts."""
+    producers: dict[int, Node] = {}
+    replacements: dict[int, int] = {}
+    new_nodes: list[Node] = []
+    for node in graph.nodes:
+        node.inputs = [replacements.get(vid, vid) for vid in node.inputs]
+        if node.op == "cast" and node.inputs:
+            src = node.inputs[0]
+            src_node = producers.get(src)
+            # cast(cast(x, a), b) -> cast(x, b)
+            if src_node is not None and src_node.op == "cast":
+                node.inputs[0] = src_node.inputs[0]
+            # cast(x, dtype_of_x) -> x  (only known when the value metadata is present)
+            value = graph.values.get(node.inputs[0])
+            if value is not None and value.dtype == node.attrs.get("dtype"):
+                replacements[node.outputs[0]] = node.inputs[0]
+                continue
+        for out in node.outputs:
+            producers[out] = node
+        new_nodes.append(node)
+    graph.nodes = new_nodes
+    graph.outputs = [replacements.get(vid, vid) for vid in graph.outputs]
+    return graph
+
+
+DEFAULT_PASSES = (peephole, common_subexpression_elimination, constant_folding,
+                  dead_code_elimination)
+
+
+def optimize(graph: Graph, passes=DEFAULT_PASSES, validate: bool = True) -> Graph:
+    """Apply ``passes`` in order (on the graph in place) and return it."""
+    for pass_fn in passes:
+        graph = pass_fn(graph)
+    if validate:
+        graph.validate()
+    return graph

@@ -1,0 +1,184 @@
+"""Op-level profiler (the PyTorch-Profiler / TensorBoard stand-in).
+
+The profiler collects one event per executed op: name, wall time, bytes read
+and written, and the device the op ran on.  Downstream consumers:
+
+* ``repro.viz.breakdown`` renders the Figure-2 per-operator runtime breakdown,
+* ``repro.backends.gpu_sim`` / ``wasm_sim`` feed the events into their cost
+  models to produce simulated device times,
+* :meth:`Profiler.to_chrome_trace` writes a ``chrome://tracing`` compatible
+  JSON file (what TensorBoard's trace viewer consumes).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import threading
+import time
+from typing import Iterable
+
+from repro.tensor.device import Device
+
+_STATE = threading.local()
+
+
+def current_profiler() -> "Profiler | None":
+    stack = getattr(_STATE, "stack", None)
+    if not stack:
+        return None
+    return stack[-1]
+
+
+@dataclasses.dataclass
+class OpEvent:
+    """One executed op."""
+
+    op: str
+    elapsed_s: float
+    input_bytes: int
+    output_bytes: int
+    device: str
+    timestamp_s: float
+    scope: str = ""
+
+    @property
+    def total_bytes(self) -> int:
+        return self.input_bytes + self.output_bytes
+
+
+@dataclasses.dataclass
+class OpSummary:
+    """Aggregated statistics for one op name (or one scope)."""
+
+    key: str
+    calls: int = 0
+    total_s: float = 0.0
+    total_bytes: int = 0
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.calls if self.calls else 0.0
+
+
+class Profiler:
+    """Collects :class:`OpEvent` records while active as a context manager."""
+
+    def __init__(self, name: str = "profile"):
+        self.name = name
+        self.events: list[OpEvent] = []
+        self._scopes: list[str] = []
+        self._start = time.perf_counter()
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, op: str, elapsed_s: float, input_bytes: int,
+               output_bytes: int, device: Device) -> None:
+        self.events.append(OpEvent(
+            op=op,
+            elapsed_s=elapsed_s,
+            input_bytes=input_bytes,
+            output_bytes=output_bytes,
+            device=str(device),
+            timestamp_s=time.perf_counter() - self._start,
+            scope=self._scopes[-1] if self._scopes else "",
+        ))
+
+    def push_scope(self, scope: str) -> None:
+        """Enter a named scope (used to attribute ops to relational operators)."""
+        self._scopes.append(scope)
+
+    def pop_scope(self) -> None:
+        if self._scopes:
+            self._scopes.pop()
+
+    class _ScopeGuard:
+        def __init__(self, profiler: "Profiler", scope: str):
+            self._profiler = profiler
+            self._scope = scope
+
+        def __enter__(self):
+            self._profiler.push_scope(self._scope)
+            return self
+
+        def __exit__(self, *exc_info):
+            self._profiler.pop_scope()
+
+    def scope(self, name: str) -> "_ScopeGuard":
+        return Profiler._ScopeGuard(self, name)
+
+    # -- aggregation ---------------------------------------------------------
+
+    def by_op(self) -> list[OpSummary]:
+        """Aggregate events per op name, sorted by total time descending."""
+        return self._aggregate(lambda e: e.op)
+
+    def by_scope(self) -> list[OpSummary]:
+        """Aggregate events per scope (relational operator), sorted by time."""
+        return self._aggregate(lambda e: e.scope or "<unscoped>")
+
+    def _aggregate(self, key_fn) -> list[OpSummary]:
+        summaries: dict[str, OpSummary] = {}
+        for event in self.events:
+            key = key_fn(event)
+            summary = summaries.setdefault(key, OpSummary(key))
+            summary.calls += 1
+            summary.total_s += event.elapsed_s
+            summary.total_bytes += event.total_bytes
+        return sorted(summaries.values(), key=lambda s: s.total_s, reverse=True)
+
+    def total_time_s(self) -> float:
+        return sum(e.elapsed_s for e in self.events)
+
+    def total_bytes(self) -> int:
+        return sum(e.total_bytes for e in self.events)
+
+    # -- export --------------------------------------------------------------
+
+    def to_chrome_trace(self) -> list[dict]:
+        """Events in Chrome Trace Event format (complete events, microseconds)."""
+        trace = []
+        for event in self.events:
+            trace.append({
+                "name": event.op,
+                "cat": event.scope or "op",
+                "ph": "X",
+                "ts": event.timestamp_s * 1e6,
+                "dur": event.elapsed_s * 1e6,
+                "pid": 0,
+                "tid": 0 if event.device == "cpu" else 1,
+                "args": {
+                    "device": event.device,
+                    "input_bytes": event.input_bytes,
+                    "output_bytes": event.output_bytes,
+                },
+            })
+        return trace
+
+    def save_chrome_trace(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump({"traceEvents": self.to_chrome_trace()}, f)
+
+    # -- context management ----------------------------------------------
+
+    def __enter__(self) -> "Profiler":
+        stack = getattr(_STATE, "stack", None)
+        if stack is None:
+            stack = []
+            _STATE.stack = stack
+        stack.append(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        stack = getattr(_STATE, "stack", [])
+        if stack and stack[-1] is self:
+            stack.pop()
+
+
+def merge_profiles(profiles: Iterable[Profiler], name: str = "merged") -> Profiler:
+    """Combine several profiles into one (used by multi-run benchmarks)."""
+    merged = Profiler(name)
+    for profile in profiles:
+        merged.events.extend(profile.events)
+    return merged

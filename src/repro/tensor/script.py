@@ -1,0 +1,53 @@
+"""TorchScript-like compilation target: trace + optimize + interpret.
+
+``script_trace(fn, example_inputs)`` returns a :class:`ScriptedProgram` — a
+standalone, optimized tensor program that can be executed repeatedly on new
+inputs (and moved across devices), matching the role ``torch.jit.trace`` plays
+in the paper's TorchScript backend.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.tensor import passes as graph_passes
+from repro.tensor import tracing
+from repro.tensor.device import Device
+from repro.tensor.graph import Graph
+from repro.tensor.interpreter import GraphInterpreter
+from repro.tensor.tensor import Tensor
+
+
+class ScriptedProgram:
+    """An optimized, replayable tensor program."""
+
+    def __init__(self, graph: Graph, per_node_overhead_s: float = 0.0):
+        self.graph = graph
+        self._interpreter = GraphInterpreter(graph, per_node_overhead_s)
+
+    def __call__(self, *inputs: Tensor, device: Device | str | None = None
+                 ) -> list[Tensor]:
+        return self._interpreter.run(list(inputs), device=device)
+
+    def run(self, inputs: Sequence[Tensor], device: Device | str | None = None
+            ) -> list[Tensor]:
+        return self._interpreter.run(list(inputs), device=device)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.graph.nodes)
+
+    def op_counts(self) -> dict[str, int]:
+        return self.graph.op_counts()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"ScriptedProgram(nodes={self.num_nodes})"
+
+
+def script_trace(fn: Callable, example_inputs: Sequence[Tensor],
+                 optimize: bool = True, name: str = "scripted") -> ScriptedProgram:
+    """Trace ``fn`` and return an optimized :class:`ScriptedProgram`."""
+    graph = tracing.trace(fn, example_inputs, name=name)
+    if optimize:
+        graph = graph_passes.optimize(graph)
+    return ScriptedProgram(graph)

@@ -1,0 +1,112 @@
+"""Lazy trace capture: run a Python function once and record the tensor ops.
+
+This mirrors ``torch.jit.trace``: the function is executed with example inputs,
+every op dispatched through :mod:`repro.tensor.ops` is appended to a
+:class:`~repro.tensor.graph.Graph`, and tensors that were not produced inside
+the trace (e.g. model weights, literal constants) are captured as graph
+initializers.
+
+The usual tracing caveat applies and is inherited deliberately from the paper's
+TorchScript backend: Python-level control flow is baked in at trace time.
+TQP's relational operators are written to be shape- and data-polymorphic, so a
+program traced at one input size replays correctly at other sizes.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Sequence
+
+from repro.errors import GraphError
+from repro.tensor.graph import Graph, Value
+from repro.tensor.tensor import Tensor
+
+_STATE = threading.local()
+
+
+def current_trace() -> "TraceContext | None":
+    """Return the active trace context, if a trace is being recorded."""
+    return getattr(_STATE, "trace", None)
+
+
+class TraceContext:
+    """Accumulates nodes while a function is being traced."""
+
+    def __init__(self, name: str = "traced"):
+        self.graph = Graph(name)
+
+    # -- used by ops._record_trace ---------------------------------------
+
+    def value_for(self, tensor: Tensor) -> Value:
+        """Return the symbolic value of ``tensor``, capturing it as a constant
+        initializer when it did not originate inside this trace."""
+        value = tensor.trace_value
+        if value is not None and self.graph.values.get(value.id) is value:
+            return value
+        captured = self.graph.add_initializer(tensor.data, name="captured_const")
+        tensor.trace_value = captured
+        return captured
+
+    def record(self, op: str, inputs: list[Tensor], outputs: list[Tensor],
+               attrs: dict) -> None:
+        input_ids = [self.value_for(t).id for t in inputs]
+        out_values = self.graph.add_node(op, input_ids, len(outputs), attrs)
+        for tensor, value in zip(outputs, out_values):
+            value.shape = tensor.shape
+            value.dtype = tensor.dtype.name
+            tensor.trace_value = value
+
+    # -- context management -----------------------------------------------
+
+    def __enter__(self) -> "TraceContext":
+        if current_trace() is not None:
+            raise GraphError("nested traces are not supported")
+        _STATE.trace = self
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        _STATE.trace = None
+
+
+def trace(fn: Callable[..., "Tensor | Sequence[Tensor]"],
+          example_inputs: Sequence[Tensor],
+          name: str = "traced") -> Graph:
+    """Trace ``fn`` over ``example_inputs`` and return the captured graph.
+
+    The function may return a single tensor or a sequence of tensors; the
+    returned graph has one output per returned tensor, in order.
+    """
+    ctx = TraceContext(name)
+    with ctx:
+        symbolic_inputs: list[Tensor] = []
+        for i, example in enumerate(example_inputs):
+            if not isinstance(example, Tensor):
+                raise GraphError("trace() example inputs must be tensors")
+            value = ctx.graph.add_input(f"input_{i}", example.shape, example.dtype.name)
+            # Re-wrap so caller-held tensors keep trace_value = None.
+            wrapped = Tensor(example.data, example.device)
+            wrapped.trace_value = value
+            symbolic_inputs.append(wrapped)
+        result = fn(*symbolic_inputs)
+    if isinstance(result, Tensor):
+        results: Sequence[Tensor] = [result]
+    elif isinstance(result, (list, tuple)):
+        results = list(result)
+    else:
+        raise GraphError(
+            "traced function must return a tensor or a sequence of tensors, "
+            f"got {type(result).__name__}"
+        )
+    output_ids = []
+    for tensor in results:
+        if not isinstance(tensor, Tensor):
+            raise GraphError("traced function must return tensors")
+        if tensor.trace_value is None:
+            # The output did not pass through any op (e.g. an input returned
+            # unchanged or a constant); capture it so the graph stays valid.
+            output_ids.append(ctx.value_for(tensor).id)
+        else:
+            output_ids.append(tensor.trace_value.id)
+    ctx.graph.set_outputs(output_ids)
+    ctx.graph.validate()
+    return ctx.graph

@@ -1,0 +1,27 @@
+"""Visualization artifacts (TensorBoard stand-in): breakdowns, traces, graphs."""
+
+from repro.viz.breakdown import (
+    breakdown_dict,
+    format_breakdown,
+    kernel_breakdown,
+    operator_breakdown,
+)
+from repro.viz.graphviz import (
+    format_outline,
+    graph_summary,
+    graph_to_dot,
+    save_graph_dot,
+    save_graph_json,
+)
+
+__all__ = [
+    "breakdown_dict",
+    "format_breakdown",
+    "format_outline",
+    "graph_summary",
+    "graph_to_dot",
+    "kernel_breakdown",
+    "operator_breakdown",
+    "save_graph_dot",
+    "save_graph_json",
+]

@@ -1,0 +1,39 @@
+"""Per-operator runtime breakdowns (the Figure-2 / TensorBoard-profiler artifact)."""
+
+from __future__ import annotations
+
+from repro.tensor.profiler import OpSummary, Profiler
+
+
+def operator_breakdown(profile: Profiler, top_k: int | None = None) -> list[OpSummary]:
+    """Aggregate a profile by relational operator (profiler scope)."""
+    rows = profile.by_scope()
+    return rows[:top_k] if top_k else rows
+
+
+def kernel_breakdown(profile: Profiler, top_k: int | None = None) -> list[OpSummary]:
+    """Aggregate a profile by tensor kernel (op name)."""
+    rows = profile.by_op()
+    return rows[:top_k] if top_k else rows
+
+
+def format_breakdown(rows: list[OpSummary], title: str = "Runtime breakdown") -> str:
+    """Render a breakdown as a fixed-width text table (printable in a notebook)."""
+    total = sum(row.total_s for row in rows) or 1.0
+    lines = [title, "-" * len(title),
+             f"{'name':<40} {'calls':>7} {'total ms':>10} {'mean us':>10} {'share':>7}"]
+    for row in rows:
+        lines.append(
+            f"{row.key:<40.40} {row.calls:>7} {row.total_s * 1e3:>10.3f} "
+            f"{row.mean_s * 1e6:>10.1f} {row.total_s / total:>6.1%}"
+        )
+    return "\n".join(lines)
+
+
+def breakdown_dict(rows: list[OpSummary]) -> list[dict]:
+    """JSON-friendly representation (what a dashboard/TensorBoard would ingest)."""
+    return [
+        {"name": row.key, "calls": row.calls, "total_s": row.total_s,
+         "mean_s": row.mean_s, "total_bytes": row.total_bytes}
+        for row in rows
+    ]

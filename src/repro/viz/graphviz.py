@@ -1,0 +1,79 @@
+"""Executor-graph export (the Figure-4 / TensorBoard graph-view artifact).
+
+The traced tensor graph of a query can be exported as Graphviz DOT, a nested
+JSON summary, or a compact text outline.  These are the files a TensorBoard-
+style UI would render; producing them (rather than the interactive UI) is the
+scope of this reproduction.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.tensor.graph import Graph
+
+
+def graph_to_dot(graph: Graph, name: str = "executor") -> str:
+    """Render the graph in Graphviz DOT format."""
+    lines = [f"digraph {name} {{", "  rankdir=TB;", "  node [shape=box, fontsize=10];"]
+    for vid in graph.inputs:
+        lines.append(f'  v{vid} [label="input: {graph.values[vid].name}", '
+                     'style=filled, fillcolor=lightblue];')
+    for vid in graph.initializers:
+        lines.append(f'  v{vid} [label="const", style=filled, fillcolor=lightgrey];')
+    for i, node in enumerate(graph.nodes):
+        label = node.op
+        lines.append(f'  n{i} [label="{label}"];')
+        for vid in node.inputs:
+            producer = _producer_index(graph, vid)
+            source = f"n{producer}" if producer is not None else f"v{vid}"
+            lines.append(f"  {source} -> n{i};")
+    for vid in graph.outputs:
+        producer = _producer_index(graph, vid)
+        source = f"n{producer}" if producer is not None else f"v{vid}"
+        lines.append(f'  out_{vid} [label="output", style=filled, fillcolor=lightgreen];')
+        lines.append(f"  {source} -> out_{vid};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _producer_index(graph: Graph, value_id: int) -> int | None:
+    for i, node in enumerate(graph.nodes):
+        if value_id in node.outputs:
+            return i
+    return None
+
+
+def graph_summary(graph: Graph) -> dict:
+    """A JSON-friendly structural summary of the executor graph."""
+    return {
+        "name": graph.name,
+        "num_inputs": len(graph.inputs),
+        "num_outputs": len(graph.outputs),
+        "num_initializers": len(graph.initializers),
+        "num_nodes": len(graph.nodes),
+        "op_counts": graph.op_counts(),
+    }
+
+
+def save_graph_json(graph: Graph, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(graph_summary(graph), f, indent=2, sort_keys=True)
+
+
+def save_graph_dot(graph: Graph, path: str, name: str = "executor") -> None:
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(graph_to_dot(graph, name))
+
+
+def format_outline(graph: Graph, max_nodes: int = 60) -> str:
+    """A compact text outline of the graph (op sequence with value ids)."""
+    lines = [f"executor graph '{graph.name}': {len(graph.nodes)} ops, "
+             f"{len(graph.inputs)} inputs, {len(graph.initializers)} constants"]
+    for node in graph.nodes[:max_nodes]:
+        ins = ", ".join(f"%{v}" for v in node.inputs)
+        outs = ", ".join(f"%{v}" for v in node.outputs)
+        lines.append(f"  {outs} = {node.op}({ins})")
+    if len(graph.nodes) > max_nodes:
+        lines.append(f"  ... {len(graph.nodes) - max_nodes} more ops")
+    return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DataFrame, TQPSession
+from repro.bench.harness import tpch_session
+
+
+@pytest.fixture
+def toy_tables() -> dict[str, DataFrame]:
+    """A tiny orders/items schema with every column kind (int, float, date, str)."""
+    items = DataFrame({
+        "item_id": np.array([1, 2, 3, 4, 5, 6], dtype=np.int64),
+        "order_id": np.array([10, 10, 20, 30, 30, 30], dtype=np.int64),
+        "price": np.array([5.0, 7.5, 2.5, 10.0, 1.0, 4.0]),
+        "quantity": np.array([2, 1, 4, 1, 6, 3], dtype=np.int64),
+        "shipped": np.array(["2024-01-05", "2024-01-20", "2024-02-10",
+                             "2024-02-28", "2024-03-05", "2024-03-20"],
+                            dtype="datetime64[D]"),
+        "note": np.array(["fast delivery", "gift wrap", "fragile item",
+                          "fast and fragile", "plain", "gift for friend"],
+                         dtype=object),
+    })
+    orders = DataFrame({
+        "order_id": np.array([10, 20, 30, 40], dtype=np.int64),
+        "customer": np.array(["ada", "bob", "ada", "cleo"], dtype=object),
+        "region": np.array(["EU", "US", "EU", "APAC"], dtype=object),
+    })
+    return {"items": items, "orders": orders}
+
+
+@pytest.fixture
+def toy_session(toy_tables) -> TQPSession:
+    session = TQPSession()
+    for name, frame in toy_tables.items():
+        session.register(name, frame)
+    return session
+
+
+@pytest.fixture(scope="session")
+def tpch_tiny():
+    """A very small TPC-H instance shared by the integration tests."""
+    return tpch_session(scale_factor=0.002, seed=7)

@@ -1,0 +1,122 @@
+"""Integration tests for Scenario 3: PREDICT queries end-to-end."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import TQPSession
+from repro.baselines import RowEngine
+from repro.datasets import amazon_reviews, iris
+from repro.frontend import sql_to_physical
+from repro.ml import compile_row_fn
+from repro.ml.models import (
+    BagOfWordsVectorizer,
+    GradientBoostingRegressor,
+    LogisticRegression,
+    MLPClassifier,
+    Pipeline,
+    RandomForestClassifier,
+)
+
+SENTIMENT_SQL = """
+select brand,
+       sum(case when rating >= 3 then 1 else 0 end) as actual_positive,
+       sum(predict('sentiment_classifier', text)) as predicted_positive
+from amazon_reviews
+group by brand
+order by brand
+"""
+
+
+@pytest.fixture(scope="module")
+def sentiment_setup():
+    reviews = amazon_reviews.generate_reviews(num_reviews=1200, seed=3)
+    train_texts, train_labels, test_texts, test_labels = \
+        amazon_reviews.training_split(reviews)
+    model = Pipeline([
+        ("vec", BagOfWordsVectorizer(vocabulary=amazon_reviews.SENTIMENT_VOCABULARY)),
+        ("clf", LogisticRegression(epochs=150)),
+    ]).fit(train_texts, train_labels)
+    accuracy = float((model.predict(test_texts) == test_labels).mean())
+    session = TQPSession()
+    session.register("amazon_reviews", reviews)
+    session.register_model("sentiment_classifier", model)
+    return session, reviews, model, accuracy
+
+
+def test_sentiment_model_has_signal(sentiment_setup):
+    _, _, _, accuracy = sentiment_setup
+    assert accuracy > 0.85
+
+
+def test_figure4_query_on_all_backends(sentiment_setup):
+    session, _, _, _ = sentiment_setup
+    eager = session.compile(SENTIMENT_SQL, backend="pytorch").run()
+    assert eager.columns == ["brand", "actual_positive", "predicted_positive"]
+    assert eager.num_rows == len(amazon_reviews.BRANDS)
+    # predictions are counts between 0 and the per-brand review count
+    assert all(0 <= v <= 1200 for v in eager["predicted_positive"])
+    for backend, device in [("torchscript", "cpu"), ("torchscript", "cuda"),
+                            ("onnx", "wasm")]:
+        other = session.compile(SENTIMENT_SQL, backend=backend, device=device).run()
+        assert other.equals(eager)
+
+
+def test_figure4_query_matches_separate_runtime_baseline(sentiment_setup):
+    session, reviews, model, _ = sentiment_setup
+    plan = sql_to_physical(SENTIMENT_SQL, session.catalog)
+    baseline = RowEngine({"amazon_reviews": reviews},
+                         models={"sentiment_classifier": compile_row_fn(model)}
+                         ).execute_to_dataframe(plan)
+    tqp = session.sql(SENTIMENT_SQL)
+    assert tqp.to_dict()["brand"] == baseline.to_dict()["brand"]
+    np.testing.assert_allclose(tqp["predicted_positive"],
+                               baseline["predicted_positive"])
+    np.testing.assert_allclose(tqp["actual_positive"], baseline["actual_positive"])
+
+
+def test_prediction_inside_where_clause(sentiment_setup):
+    session, reviews, model, _ = sentiment_setup
+    out = session.sql(
+        "select count(*) as predicted_positive_reviews from amazon_reviews "
+        "where predict('sentiment_classifier', text) = 1")
+    expected = int(model.predict(list(reviews["text"])).sum())
+    assert out.to_dict() == {"predicted_positive_reviews": [expected]}
+
+
+def test_iris_regression_and_classification_queries():
+    table = iris.generate_iris(samples_per_species=60, seed=12)
+    X, y = iris.regression_arrays(table)
+    regressor = GradientBoostingRegressor(n_estimators=12, max_depth=2).fit(X, y)
+
+    Xc = np.stack([table["sepal_length"], table["sepal_width"],
+                   table["petal_length"], table["petal_width"]], axis=1)
+    yc = (table["species"] == "virginica").astype(np.int64)
+    classifiers = {
+        "forest": RandomForestClassifier(n_estimators=6, max_depth=3).fit(Xc, yc),
+        "mlp": MLPClassifier(hidden_size=8, epochs=80).fit(Xc, yc),
+    }
+
+    session = TQPSession()
+    session.register("iris", table)
+    session.register_model("petal_width_regressor", regressor)
+    for name, model in classifiers.items():
+        session.register_model(name, model)
+
+    regression = session.sql(
+        "select species, avg(predict('petal_width_regressor', sepal_length, "
+        "sepal_width, petal_length)) as predicted from iris group by species "
+        "order by species")
+    actual = session.sql(
+        "select species, avg(petal_width) as actual from iris group by species "
+        "order by species")
+    predicted = np.array(regression["predicted"], dtype=np.float64)
+    observed = np.array(actual["actual"], dtype=np.float64)
+    assert np.abs(predicted - observed).max() < 0.4
+
+    for name, model in classifiers.items():
+        out = session.sql(
+            f"select sum(predict('{name}', sepal_length, sepal_width, petal_length, "
+            "petal_width)) as positives from iris")
+        assert out.to_dict() == {"positives": [float(model.predict(Xc).sum())]}

@@ -1,0 +1,98 @@
+"""Property-based tests (hypothesis) for the tensor runtime invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.tensor import GraphInterpreter, ops, passes, trace
+
+floats = hnp.arrays(np.float64, st.integers(1, 40),
+                    elements=st.floats(-1e6, 1e6, allow_nan=False))
+ints = hnp.arrays(np.int64, st.integers(1, 40), elements=st.integers(-1000, 1000))
+
+
+@given(floats, floats)
+@settings(max_examples=50, deadline=None)
+def test_elementwise_ops_match_numpy(a, b):
+    n = min(len(a), len(b))
+    a, b = a[:n], b[:n]
+    np.testing.assert_allclose(ops.add(ops.tensor(a), ops.tensor(b)).numpy(), a + b)
+    np.testing.assert_allclose(ops.mul(ops.tensor(a), ops.tensor(b)).numpy(), a * b)
+    np.testing.assert_array_equal(ops.le(ops.tensor(a), ops.tensor(b)).numpy(), a <= b)
+
+
+@given(ints)
+@settings(max_examples=50, deadline=None)
+def test_argsort_produces_a_permutation_that_sorts(values):
+    order = ops.argsort(ops.tensor(values)).numpy()
+    assert sorted(order.tolist()) == list(range(len(values)))
+    assert (values[order] == np.sort(values, kind="stable")).all()
+
+
+@given(ints)
+@settings(max_examples=50, deadline=None)
+def test_unique_inverse_reconstructs_input(values):
+    unique_values, inverse, counts = ops.unique(ops.tensor(values))
+    np.testing.assert_array_equal(unique_values.numpy()[inverse.numpy()], values)
+    assert counts.numpy().sum() == len(values)
+    assert (np.diff(unique_values.numpy()) > 0).all()
+
+
+@given(ints, st.integers(1, 8))
+@settings(max_examples=50, deadline=None)
+def test_scatter_add_equals_groupby_sum(values, num_groups):
+    groups = np.abs(values) % num_groups
+    result = ops.scatter_add(ops.tensor(groups), ops.tensor(values.astype(np.float64)),
+                             size=num_groups).numpy()
+    expected = np.zeros(num_groups)
+    for g, v in zip(groups, values):
+        expected[g] += v
+    np.testing.assert_allclose(result, expected)
+
+
+@given(floats)
+@settings(max_examples=50, deadline=None)
+def test_boolean_mask_then_concat_is_a_partition(values):
+    tensor = ops.tensor(values)
+    mask = ops.ge(tensor, 0.0)
+    kept = ops.boolean_mask(tensor, mask)
+    dropped = ops.boolean_mask(tensor, ops.logical_not(mask))
+    assert kept.shape[0] + dropped.shape[0] == len(values)
+    np.testing.assert_allclose(np.sort(np.concatenate([kept.numpy(), dropped.numpy()])),
+                               np.sort(values))
+
+
+@given(floats, floats)
+@settings(max_examples=30, deadline=None)
+def test_traced_graph_replays_identically(a, b):
+    n = min(len(a), len(b))
+    a, b = a[:n], b[:n]
+
+    def fn(x, y):
+        return ops.sum_(ops.mul(ops.add(x, y), 2.0))
+
+    graph = trace(fn, [ops.tensor(a), ops.tensor(b)])
+    eager = fn(ops.tensor(a), ops.tensor(b)).item()
+    replayed = GraphInterpreter(graph).run([ops.tensor(a), ops.tensor(b)])[0].item()
+    np.testing.assert_allclose(replayed, eager)
+
+
+@given(floats)
+@settings(max_examples=30, deadline=None)
+def test_optimization_passes_preserve_semantics(values):
+    def fn(x):
+        doubled = ops.mul(x, 2.0)
+        doubled_again = ops.mul(x, 2.0)           # CSE target
+        unused = ops.add(x, 123.0)                # DCE target  # noqa: F841
+        return ops.sum_(ops.add(doubled, doubled_again))
+
+    example = [ops.tensor(values)]
+    graph = trace(fn, example)
+    before = GraphInterpreter(graph.clone()).run(example)[0].item()
+    optimized = passes.optimize(graph)
+    after = GraphInterpreter(optimized).run(example)[0].item()
+    np.testing.assert_allclose(after, before)
+    assert len(optimized.nodes) <= 4

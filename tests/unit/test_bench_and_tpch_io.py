@@ -1,0 +1,46 @@
+"""Unit tests for the benchmark harness helpers and TPC-H .tbl I/O."""
+
+import numpy as np
+
+from repro.bench import figure_table, series_dict, time_rowengine, time_tqp, tpch_session
+from repro.datasets import tpch
+from repro.datasets.tpch.io import load_tables, save_tables
+
+
+def test_tpch_session_is_cached():
+    first, tables_a = tpch_session(scale_factor=0.001, seed=42)
+    second, tables_b = tpch_session(scale_factor=0.001, seed=42)
+    assert first is second and tables_a is tables_b
+    assert set(tables_a) == set(tpch.TABLE_NAMES)
+
+
+def test_time_tqp_and_rowengine_protocol():
+    session, tables = tpch_session(scale_factor=0.001, seed=42)
+    sql = tpch.query(6, 0.001)
+    tqp = time_tqp(session, sql, backend="torchscript", device="cpu", runs=3, warmup=1)
+    assert len(tqp.times_s) == 3 and tqp.median_s > 0
+    assert tqp.system == "TQP-CPU" and not tqp.simulated
+    gpu = time_tqp(session, sql, backend="torchscript", device="cuda", runs=2, warmup=0)
+    assert gpu.simulated and gpu.system == "TQP-CUDA"
+    baseline = time_rowengine(session, tables, sql, runs=1)
+    assert baseline.result.num_rows == tqp.result.num_rows
+    table = figure_table("Figure X", [tqp, gpu], baseline)
+    assert "Figure X" in table and "simulated time" in table and "measured" in table
+    series = series_dict([tqp, gpu, baseline])
+    assert set(series) == {"TQP-CPU", "TQP-CUDA", baseline.system}
+
+
+def test_tpch_tbl_round_trip(tmp_path):
+    tables = tpch.generate_tables(scale_factor=0.001, seed=1)
+    subset = {"region": tables["region"], "nation": tables["nation"],
+              "supplier": tables["supplier"]}
+    paths = save_tables(subset, tmp_path)
+    assert all(path.exists() for path in paths.values())
+    loaded = load_tables(tmp_path)
+    assert set(loaded) == set(subset)
+    assert loaded["nation"].columns == tables["nation"].columns
+    np.testing.assert_array_equal(loaded["supplier"]["s_suppkey"],
+                                  tables["supplier"]["s_suppkey"])
+    np.testing.assert_allclose(loaded["supplier"]["s_acctbal"],
+                               tables["supplier"]["s_acctbal"])
+    assert loaded["nation"]["n_name"].tolist() == tables["nation"]["n_name"].tolist()

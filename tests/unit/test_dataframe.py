@@ -1,0 +1,111 @@
+"""Unit tests for the ingestion DataFrame and its CSV I/O."""
+
+import numpy as np
+import pytest
+
+from repro.dataframe import DataFrame, DataFrameError, concat_frames, read_csv, write_csv
+
+
+def _frame():
+    return DataFrame({
+        "id": np.array([1, 2, 3], dtype=np.int64),
+        "price": np.array([1.5, 2.5, 3.5]),
+        "name": np.array(["a", "b", "c"], dtype=object),
+        "day": np.array(["2024-01-01", "2024-01-02", "2024-01-03"],
+                        dtype="datetime64[D]"),
+    })
+
+
+def test_construction_and_basic_accessors():
+    frame = _frame()
+    assert frame.columns == ["id", "price", "name", "day"]
+    assert frame.num_rows == 3 and len(frame) == 3
+    assert "price" in frame
+    np.testing.assert_array_equal(frame["id"], [1, 2, 3])
+    with pytest.raises(DataFrameError):
+        frame["missing"]
+
+
+def test_dtypes_classification():
+    assert _frame().dtypes() == {"id": "int", "price": "float", "name": "string",
+                                 "day": "date"}
+
+
+def test_mismatched_lengths_rejected():
+    with pytest.raises(DataFrameError):
+        DataFrame({"a": [1, 2], "b": [1, 2, 3]})
+
+
+def test_unsupported_and_2d_columns_rejected():
+    with pytest.raises(DataFrameError):
+        DataFrame({"a": np.zeros((2, 2))})
+    with pytest.raises(DataFrameError):
+        DataFrame({"a": np.array([1 + 2j, 3 + 4j])})
+
+
+def test_from_records_and_to_records():
+    frame = DataFrame.from_records([{"x": 1, "y": "a"}, {"x": 2, "y": "b"}])
+    assert frame.columns == ["x", "y"]
+    assert frame.to_records()[1]["y"] == "b"
+    assert DataFrame.from_records([], columns=["x"]).num_rows == 0
+
+
+def test_select_with_column_head_take_filter():
+    frame = _frame()
+    assert frame.select(["name", "id"]).columns == ["name", "id"]
+    extended = frame.with_column("double", frame["price"] * 2)
+    np.testing.assert_allclose(extended["double"], [3.0, 5.0, 7.0])
+    assert frame.head(2).num_rows == 2
+    assert frame.take([2, 0])["id"].tolist() == [3, 1]
+    assert frame.filter(frame["price"] > 2.0).num_rows == 2
+
+
+def test_equals_with_float_tolerance():
+    frame = _frame()
+    other = frame.with_column("price", frame["price"] + 1e-9)
+    assert frame.equals(other)
+    assert not frame.equals(other.with_column("id", np.array([9, 9, 9])))
+    assert not frame.equals(frame.select(["id"]))
+
+
+def test_rows_iteration_and_repr():
+    frame = _frame()
+    rows = list(frame.rows())
+    assert rows[0][0] == 1 and rows[0][2] == "a"
+    assert "DataFrame(3 rows" in repr(frame)
+
+
+def test_concat_frames():
+    frame = _frame()
+    combined = concat_frames([frame, frame])
+    assert combined.num_rows == 6
+    with pytest.raises(DataFrameError):
+        concat_frames([frame, frame.select(["id"])])
+    assert concat_frames([]).num_rows == 0
+
+
+def test_csv_round_trip(tmp_path):
+    frame = _frame()
+    path = tmp_path / "data.csv"
+    write_csv(frame, path)
+    loaded = read_csv(path)
+    assert loaded.columns == frame.columns
+    np.testing.assert_array_equal(loaded["id"], frame["id"])
+    np.testing.assert_allclose(loaded["price"], frame["price"])
+    assert loaded.dtypes()["day"] == "date"
+    assert loaded.dtypes()["name"] == "string"
+
+
+def test_csv_pipe_delimited_without_header(tmp_path):
+    path = tmp_path / "data.tbl"
+    path.write_text("1|foo|2.5|\n2|bar|3.5|\n", encoding="utf-8")
+    frame = read_csv(path, delimiter="|", header=False, columns=["k", "s", "v"])
+    assert frame.columns == ["k", "s", "v"]
+    assert frame["s"].tolist() == ["foo", "bar"]
+    np.testing.assert_allclose(frame["v"], [2.5, 3.5])
+
+
+def test_read_empty_csv(tmp_path):
+    path = tmp_path / "empty.csv"
+    path.write_text("", encoding="utf-8")
+    assert read_csv(path, columns=["a"]).num_rows == 0

@@ -1,0 +1,100 @@
+"""Unit tests for the dataset generators (TPC-H, Amazon reviews, Iris)."""
+
+import numpy as np
+
+from repro.datasets import amazon_reviews, iris, tpch
+from repro.datasets.tpch import schema
+
+
+def test_tpch_tables_and_columns_present():
+    tables = tpch.generate_tables(scale_factor=0.001, seed=3)
+    assert set(tables) == set(schema.TABLE_NAMES)
+    for name, frame in tables.items():
+        assert frame.columns == schema.TABLE_COLUMNS[name]
+        assert frame.num_rows > 0
+
+
+def test_tpch_scaling_and_determinism():
+    small = tpch.generate_tables(scale_factor=0.002, seed=9)
+    large = tpch.generate_tables(scale_factor=0.004, seed=9)
+    assert large["orders"].num_rows == 2 * small["orders"].num_rows
+    assert large["part"].num_rows == 2 * small["part"].num_rows
+    again = tpch.generate_tables(scale_factor=0.002, seed=9)
+    assert np.array_equal(small["lineitem"]["l_extendedprice"],
+                          again["lineitem"]["l_extendedprice"])
+    assert small["nation"].num_rows == 25 and small["region"].num_rows == 5
+
+
+def test_tpch_referential_integrity_and_value_rules():
+    tables = tpch.generate_tables(scale_factor=0.002, seed=5)
+    lineitem, orders = tables["lineitem"], tables["orders"]
+    part, partsupp, customer = tables["part"], tables["partsupp"], tables["customer"]
+    assert set(lineitem["l_orderkey"]) <= set(orders["o_orderkey"])
+    assert set(lineitem["l_partkey"]) <= set(part["p_partkey"])
+    assert set(orders["o_custkey"]) <= set(customer["c_custkey"])
+    # every (l_partkey, l_suppkey) pair exists in partsupp (dbgen invariant)
+    ps_pairs = set(zip(partsupp["ps_partkey"].tolist(),
+                       partsupp["ps_suppkey"].tolist()))
+    li_pairs = set(zip(lineitem["l_partkey"].tolist(), lineitem["l_suppkey"].tolist()))
+    assert li_pairs <= ps_pairs
+    # ship/commit/receipt date ordering
+    assert (lineitem["l_receiptdate"] > lineitem["l_shipdate"]).all()
+    assert (lineitem["l_discount"] >= 0).all() and (lineitem["l_discount"] <= 0.10).all()
+    # one third of customers never order (needed by Q13/Q22)
+    assert len(set(customer["c_custkey"]) - set(orders["o_custkey"])) > 0
+    # order status values
+    assert set(orders["o_orderstatus"]) <= {"F", "O", "P"}
+
+
+def test_tpch_vocabularies_support_query_predicates():
+    tables = tpch.generate_tables(scale_factor=0.002, seed=5)
+    part, lineitem = tables["part"], tables["lineitem"]
+    assert any(t.startswith("PROMO") for t in part["p_type"])        # Q14
+    assert any("BRASS" in t for t in part["p_type"])                 # Q2
+    assert any(b == "Brand#23" for b in part["p_brand"])             # Q17
+    assert set(lineitem["l_shipmode"]) <= set(schema.SHIP_MODES)     # Q12
+    assert any(m in ("MAIL", "SHIP") for m in lineitem["l_shipmode"])
+    assert set(lineitem["l_returnflag"]) <= {"A", "N", "R"}          # Q1/Q10
+
+
+def test_tpch_query_text_access():
+    assert len(tpch.ALL_QUERY_IDS) == 22
+    q11 = tpch.query(11, scale_factor=0.01)
+    assert "0.01" in q11 or "0.0" in q11
+    assert "{q11_fraction}" not in q11
+    q6 = tpch.query(6)
+    assert "l_discount between" in q6
+    import pytest
+
+    with pytest.raises(KeyError):
+        tpch.query(23)
+
+
+def test_amazon_reviews_generator_properties():
+    reviews = amazon_reviews.generate_reviews(num_reviews=500, seed=2)
+    assert reviews.num_rows == 500
+    assert set(reviews["brand"]) <= set(amazon_reviews.BRANDS)
+    assert reviews["rating"].min() >= 1 and reviews["rating"].max() <= 5
+    positive = reviews["rating"] >= 4
+    texts = reviews["text"]
+    has_positive_word = np.array(
+        [any(w in t for w in amazon_reviews.POSITIVE_WORDS) for t in texts])
+    # sentiment vocabulary correlates with the rating
+    assert has_positive_word[positive].mean() > has_positive_word[~positive].mean()
+    train_x, train_y, test_x, test_y = amazon_reviews.training_split(reviews)
+    assert len(train_x) + len(test_x) == 500
+    assert set(np.unique(train_y)) <= {0, 1}
+
+
+def test_iris_generator_properties():
+    table = iris.generate_iris(samples_per_species=30, seed=4)
+    assert table.num_rows == 90
+    assert set(table["species"]) == set(iris.SPECIES)
+    X, y = iris.regression_arrays(table)
+    assert X.shape == (90, 3) and y.shape == (90,)
+    # species clusters are ordered by petal size (as in the real data)
+    petal = table["petal_length"]
+    species = table["species"]
+    assert petal[species == "setosa"].mean() < petal[species == "virginica"].mean()
+    again = iris.generate_iris(samples_per_species=30, seed=4)
+    assert table.equals(again)

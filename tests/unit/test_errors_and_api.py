@@ -1,0 +1,54 @@
+"""Unit tests for the exception hierarchy and the package-level API surface."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+def test_exception_hierarchy():
+    assert issubclass(errors.SQLSyntaxError, errors.SQLError)
+    assert issubclass(errors.AnalysisError, errors.SQLError)
+    assert issubclass(errors.CatalogError, errors.SQLError)
+    assert issubclass(errors.SQLError, errors.TQPError)
+    assert issubclass(errors.GraphError, errors.TensorRuntimeError)
+    assert issubclass(errors.DeviceError, errors.TensorRuntimeError)
+    assert issubclass(errors.DTypeError, errors.TensorRuntimeError)
+    assert issubclass(errors.TensorRuntimeError, errors.TQPError)
+    assert issubclass(errors.UnsupportedOperationError, errors.PlanningError)
+    assert issubclass(errors.PlanningError, errors.TQPError)
+    assert issubclass(errors.ExecutionError, errors.TQPError)
+    assert issubclass(errors.ModelError, errors.TQPError)
+
+
+def test_sql_syntax_error_carries_position():
+    error = errors.SQLSyntaxError("bad token", line=3, column=7)
+    assert error.line == 3 and error.column == 7
+    assert "line 3" in str(error)
+    bare = errors.SQLSyntaxError("no position")
+    assert bare.line is None and "line" not in str(bare)
+
+
+def test_every_layer_error_catchable_as_tqperror():
+    from repro import DataFrame, TQPSession
+
+    session = TQPSession()
+    with pytest.raises(errors.TQPError):
+        session.sql("select broken from")          # syntax error
+    import numpy as np
+
+    session.register("t", DataFrame({"a": np.array([1], dtype=np.int64)}))
+    with pytest.raises(errors.TQPError):
+        session.sql("select missing_column from t")  # analysis error
+    with pytest.raises(errors.TQPError):
+        session.sql("select a from not_a_table")     # catalog error
+
+
+def test_package_exports_and_version():
+    assert hasattr(repro, "TQPSession")
+    assert hasattr(repro, "DataFrame")
+    assert isinstance(repro.__version__, str) and repro.__version__
+    from repro import backends, baselines, core, datasets, ml, tensor, viz  # noqa: F401
+
+    assert callable(tensor.tensor)
+    assert "pytorch" in backends.BACKENDS

@@ -1,0 +1,123 @@
+"""Unit tests for the execution layer (Executor) and the public session API."""
+
+import numpy as np
+import pytest
+
+from repro import DataFrame, TQPSession
+from repro.core import ir
+from repro.errors import CatalogError, ExecutionError
+from repro.tensor import onnxlike
+
+SQL = ("select region, sum(amount) as total from sales "
+       "where amount > 10 group by region order by total desc")
+
+
+@pytest.fixture
+def session():
+    frame = DataFrame({
+        "region": np.array(["eu", "us", "eu", "apac", "us"], dtype=object),
+        "amount": np.array([10.0, 25.0, 35.0, 15.0, 5.0]),
+    })
+    session = TQPSession()
+    session.register("sales", frame)
+    return session
+
+
+def test_compile_produces_all_artifacts(session):
+    compiled = session.compile(SQL)
+    assert compiled.physical_plan is not None
+    assert isinstance(compiled.ir, ir.IRNode)
+    assert compiled.operator_plan.scans and compiled.operator_plan.output_fields
+    explain = compiled.explain()
+    assert "Physical plan" in explain and "TQP IR" in explain and "Operator plan" in explain
+
+
+def test_execute_returns_result_metadata(session):
+    outcome = session.compile(SQL, backend="pytorch").execute()
+    assert outcome.backend == "pytorch" and outcome.device == "cpu"
+    assert outcome.measured_s > 0 and outcome.reported_s == outcome.measured_s
+    assert outcome.to_dataframe().to_dict() == {
+        "region": ["eu", "us", "apac"], "total": [35.0, 25.0, 15.0]}
+
+
+@pytest.mark.parametrize("backend", ["pytorch", "torchscript", "onnx",
+                                     "torchscript-noopt"])
+def test_all_backends_agree(session, backend):
+    reference = session.compile(SQL, backend="pytorch").run()
+    assert session.compile(SQL, backend=backend).run().equals(reference)
+
+
+@pytest.mark.parametrize("device", ["cpu", "cuda"])
+def test_devices_agree_and_simulated_time_reported(session, device):
+    outcome = session.compile(SQL, backend="torchscript", device=device).execute()
+    assert outcome.to_dataframe()["total"].tolist() == [35.0, 25.0, 15.0]
+    if device == "cuda":
+        assert outcome.profile is not None
+        assert outcome.reported_s != outcome.measured_s
+
+
+def test_wasm_device_requires_onnx_backend(session):
+    with pytest.raises(ExecutionError):
+        session.compile(SQL, backend="torchscript", device="wasm")
+    outcome = session.compile(SQL, backend="onnx", device="wasm").execute()
+    assert outcome.to_dataframe().num_rows == 3
+
+
+def test_profile_collects_operator_scopes(session):
+    outcome = session.compile(SQL, backend="pytorch").execute(profile=True)
+    scopes = {row.key for row in outcome.profile.by_scope()}
+    assert any(scope.startswith("HashAggregate") for scope in scopes)
+    assert any(scope.startswith("Filter") for scope in scopes)
+
+
+def test_executor_graph_and_onnx_export(session, tmp_path):
+    compiled = session.compile(SQL, backend="torchscript")
+    graph = compiled.executor_graph()
+    assert graph.op_counts().get("scatter_add", 0) >= 1
+    path = tmp_path / "query.onnx.json"
+    compiled.export_onnx(str(path))
+    restored = onnxlike.load(str(path))
+    assert restored.op_counts() == graph.op_counts()
+
+
+def test_compiled_program_is_cached_and_input_layout_checked(session):
+    compiled = session.compile(SQL, backend="torchscript")
+    inputs = session.prepare_inputs(compiled.executor)
+    compiled.executor.execute(inputs)
+    first_program = compiled.executor._program
+    compiled.executor.execute(inputs)
+    assert compiled.executor._program is first_program
+    with pytest.raises(ExecutionError):
+        compiled.executor._run_graph({})
+
+
+def test_register_replaces_table_and_invalidates_cache(session):
+    compiled = session.compile("select sum(amount) as s from sales")
+    assert compiled.run().to_dict() == {"s": [90.0]}
+    session.register("sales", DataFrame({
+        "region": np.array(["eu"], dtype=object),
+        "amount": np.array([1.0]),
+    }))
+    assert session.compile("select sum(amount) as s from sales").run().to_dict() == \
+        {"s": [1.0]}
+
+
+def test_session_validation_errors(session):
+    with pytest.raises(ExecutionError):
+        TQPSession(default_backend="tvm")
+    with pytest.raises(Exception):
+        session.compile(SQL, backend="not-a-backend")
+    with pytest.raises(CatalogError):
+        session.dataframe("missing")
+    assert session.table_names() == ["sales"]
+
+
+def test_prepare_inputs_converts_only_needed_columns(session):
+    compiled = session.compile("select sum(amount) as s from sales")
+    inputs = session.prepare_inputs(compiled.executor)
+    table = inputs[compiled.operator_plan.scans[0].alias]
+    assert table.column_names == ["sales.amount"]
+
+
+def test_sql_convenience_method(session):
+    assert session.sql("select count(*) as n from sales").to_dict() == {"n": [5]}

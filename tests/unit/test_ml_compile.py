@@ -1,0 +1,137 @@
+"""Unit tests for the Hummingbird-like model → tensor compiler."""
+
+import numpy as np
+import pytest
+
+from repro.core.columnar import LogicalType, encode_strings
+from repro.core.expressions import ExprValue
+from repro.errors import ModelError
+from repro.ml import compile_model, compile_row_fn, tree_to_gemm_matrices
+from repro.ml.models import (
+    BagOfWordsVectorizer,
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    GradientBoostingClassifier,
+    GradientBoostingRegressor,
+    LinearRegression,
+    LogisticRegression,
+    MLPClassifier,
+    Pipeline,
+    RandomForestClassifier,
+    RandomForestRegressor,
+    StandardScaler,
+)
+
+
+def _data(n=150, seed=5, features=3):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, features))
+    y_reg = X @ np.arange(1, features + 1) + 0.5
+    y_clf = (y_reg > y_reg.mean()).astype(np.int64)
+    return X, y_reg, y_clf
+
+
+def _args_from_matrix(X):
+    from repro.tensor import ops
+
+    return [ExprValue(ops.tensor(X[:, i]), LogicalType.FLOAT)
+            for i in range(X.shape[1])]
+
+
+def test_gemm_matrices_shapes_and_values():
+    X, y, _ = _data()
+    tree = DecisionTreeRegressor(max_depth=3).fit(X, y)
+    a, b, c, d, e = tree_to_gemm_matrices(tree.root_, X.shape[1])
+    n_internal, n_leaves = a.shape[1], e.shape[0]
+    assert a.shape == (X.shape[1], n_internal)
+    assert b.shape == (n_internal,)
+    assert c.shape == (n_internal, n_leaves)
+    assert d.shape == (n_leaves,)
+    assert set(np.unique(a)) <= {0.0, 1.0}
+    assert set(np.unique(c)) <= {-1.0, 0.0, 1.0}
+    # GEMM evaluation reproduces the python tree walk exactly.
+    decisions = (X @ a <= b).astype(np.float64)
+    selected = (decisions @ c == d).astype(np.float64)
+    assert (selected.sum(axis=1) == 1).all(), "exactly one leaf per row"
+    np.testing.assert_allclose(selected @ e, tree.predict(X))
+
+
+def test_gemm_degenerate_single_leaf_tree():
+    X = np.ones((5, 2))
+    y = np.full(5, 7.0)
+    tree = DecisionTreeRegressor(max_depth=2).fit(X, y)
+    compiled = compile_model(tree)
+    out = compiled(_args_from_matrix(X), 5)
+    np.testing.assert_allclose(out.tensor.numpy(), [7.0] * 5)
+
+
+@pytest.mark.parametrize("model_factory,is_classifier", [
+    (lambda: LinearRegression(), False),
+    (lambda: LogisticRegression(epochs=80), True),
+    (lambda: DecisionTreeRegressor(max_depth=4), False),
+    (lambda: DecisionTreeClassifier(max_depth=4), True),
+    (lambda: RandomForestRegressor(n_estimators=5, max_depth=3), False),
+    (lambda: RandomForestClassifier(n_estimators=5, max_depth=3), True),
+    (lambda: GradientBoostingRegressor(n_estimators=8, max_depth=2), False),
+    (lambda: GradientBoostingClassifier(n_estimators=8, max_depth=2), True),
+    (lambda: MLPClassifier(hidden_size=8, epochs=40), True),
+])
+def test_compiled_models_match_python_predictions(model_factory, is_classifier):
+    X, y_reg, y_clf = _data()
+    model = model_factory().fit(X, y_clf if is_classifier else y_reg)
+    compiled = compile_model(model)
+    tensor_predictions = compiled(_args_from_matrix(X), X.shape[0]).tensor.numpy()
+    np.testing.assert_allclose(tensor_predictions, model.predict(X).astype(np.float64),
+                               atol=1e-9)
+
+
+def test_compiled_pipeline_with_scaler():
+    X, y_reg, y_clf = _data()
+    pipeline = Pipeline([
+        ("scaler", StandardScaler()),
+        ("clf", LogisticRegression(epochs=80)),
+    ]).fit(X, y_clf)
+    compiled = compile_model(pipeline)
+    out = compiled(_args_from_matrix(X), X.shape[0]).tensor.numpy()
+    np.testing.assert_allclose(out, pipeline.predict(X).astype(np.float64))
+
+
+def test_compiled_text_pipeline_matches_python():
+    texts = ["great product love it", "terrible waste broken", "works great",
+             "bad and slow", "love love love", "meh"]
+    labels = np.array([1, 0, 1, 0, 1, 0])
+    pipeline = Pipeline([
+        ("vec", BagOfWordsVectorizer(vocabulary=["great", "love", "terrible",
+                                                 "waste", "bad", "slow"])),
+        ("clf", LogisticRegression(epochs=120)),
+    ]).fit(texts, labels)
+    compiled = compile_model(pipeline)
+
+    from repro.tensor import ops
+
+    codes = ExprValue(ops.tensor(encode_strings(texts)), LogicalType.STRING)
+    tensor_out = compiled([codes], len(texts)).tensor.numpy()
+    np.testing.assert_allclose(tensor_out, pipeline.predict(texts).astype(np.float64))
+    # text models must receive a string column
+    with pytest.raises(ModelError):
+        compiled(_args_from_matrix(np.zeros((2, 2))), 2)
+
+
+def test_row_fn_matches_compiled_model():
+    X, y_reg, _ = _data()
+    model = GradientBoostingRegressor(n_estimators=5, max_depth=2).fit(X, y_reg)
+    row_fn = compile_row_fn(model)
+    row_predictions = np.array([row_fn(list(row)) for row in X])
+    np.testing.assert_allclose(row_predictions, model.predict(X))
+
+
+def test_compile_rejects_unknown_model_and_empty_args():
+    class Unknown:
+        pass
+
+    with pytest.raises(ModelError):
+        compile_model(Unknown())
+    X, _, y_clf = _data()
+    compiled = compile_model(LogisticRegression(epochs=10).fit(X, y_clf))
+    with pytest.raises(ModelError):
+        compiled([], 0)

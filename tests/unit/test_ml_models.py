@@ -1,0 +1,143 @@
+"""Unit tests for the from-scratch ML models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.ml.models import (
+    BagOfWordsVectorizer,
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    GradientBoostingClassifier,
+    GradientBoostingRegressor,
+    LinearRegression,
+    LogisticRegression,
+    MLPClassifier,
+    Pipeline,
+    RandomForestClassifier,
+    RandomForestRegressor,
+    StandardScaler,
+)
+
+
+def _linear_data(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 3))
+    y = 2.0 * X[:, 0] - 1.0 * X[:, 1] + 0.5 * X[:, 2] + 3.0
+    return X, y
+
+
+def _classification_data(n=300, seed=1):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 2))
+    y = (X[:, 0] + X[:, 1] > 0).astype(np.int64)
+    return X, y
+
+
+def test_linear_regression_recovers_coefficients():
+    X, y = _linear_data()
+    model = LinearRegression().fit(X, y)
+    np.testing.assert_allclose(model.coef_, [2.0, -1.0, 0.5], atol=1e-6)
+    assert model.intercept_ == pytest.approx(3.0, abs=1e-6)
+    np.testing.assert_allclose(model.predict(X), y, atol=1e-6)
+
+
+def test_linear_regression_requires_fit():
+    with pytest.raises(ModelError):
+        LinearRegression().predict(np.zeros((2, 3)))
+
+
+def test_logistic_regression_learns_separable_data():
+    X, y = _classification_data()
+    model = LogisticRegression(epochs=200).fit(X, y)
+    assert (model.predict(X) == y).mean() > 0.95
+    probs = model.predict_proba(X)
+    assert probs.shape == (len(y), 2)
+    np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+
+def test_decision_tree_classifier_and_regressor():
+    X, y = _classification_data()
+    clf = DecisionTreeClassifier(max_depth=4).fit(X, y)
+    assert (clf.predict(X) == y).mean() > 0.9
+    Xr, yr = _linear_data()
+    reg = DecisionTreeRegressor(max_depth=5).fit(Xr, yr)
+    assert np.abs(reg.predict(Xr) - yr).mean() < np.abs(yr - yr.mean()).mean()
+
+
+def test_decision_tree_handles_constant_target():
+    X = np.array([[1.0], [2.0], [3.0]])
+    y = np.array([5.0, 5.0, 5.0])
+    tree = DecisionTreeRegressor().fit(X, y)
+    assert tree.root_.is_leaf
+    np.testing.assert_allclose(tree.predict(X), [5.0, 5.0, 5.0])
+
+
+def test_random_forest_beats_chance_and_requires_fit():
+    X, y = _classification_data()
+    forest = RandomForestClassifier(n_estimators=7, max_depth=3).fit(X, y)
+    assert (forest.predict(X) == y).mean() > 0.9
+    assert forest.predict_proba(X).shape == (len(y), 2)
+    with pytest.raises(ModelError):
+        RandomForestClassifier().predict(X)
+    Xr, yr = _linear_data()
+    reg = RandomForestRegressor(n_estimators=5, max_depth=4).fit(Xr, yr)
+    assert np.abs(reg.predict(Xr) - yr).mean() < np.abs(yr - yr.mean()).mean()
+
+
+def test_gradient_boosting_regressor_improves_with_rounds():
+    X, y = _linear_data()
+    small = GradientBoostingRegressor(n_estimators=2, max_depth=2).fit(X, y)
+    large = GradientBoostingRegressor(n_estimators=30, max_depth=2).fit(X, y)
+    assert np.abs(large.predict(X) - y).mean() < np.abs(small.predict(X) - y).mean()
+
+
+def test_gradient_boosting_classifier():
+    X, y = _classification_data()
+    model = GradientBoostingClassifier(n_estimators=15, max_depth=2).fit(X, y)
+    assert (model.predict(X) == y).mean() > 0.9
+    assert model.predict_proba(X).shape == (len(y), 2)
+
+
+def test_mlp_classifier_learns_nonlinear_boundary():
+    rng = np.random.default_rng(3)
+    X = rng.normal(size=(400, 2))
+    y = ((X[:, 0] ** 2 + X[:, 1] ** 2) < 1.0).astype(np.int64)
+    model = MLPClassifier(hidden_size=16, epochs=150, random_state=0).fit(X, y)
+    assert (model.predict(X) == y).mean() > 0.85
+    with pytest.raises(ModelError):
+        MLPClassifier().decision_function(X)
+
+
+def test_standard_scaler():
+    X = np.array([[1.0, 10.0], [3.0, 10.0], [5.0, 10.0]])
+    scaler = StandardScaler().fit(X)
+    transformed = scaler.transform(X)
+    np.testing.assert_allclose(transformed.mean(axis=0), [0.0, 0.0], atol=1e-12)
+    # zero-variance column is left unscaled rather than dividing by zero
+    assert np.isfinite(transformed).all()
+    with pytest.raises(ModelError):
+        StandardScaler().transform(X)
+
+
+def test_bag_of_words_vectorizer_fixed_and_learned_vocabulary():
+    fixed = BagOfWordsVectorizer(vocabulary=["great", "bad"])
+    out = fixed.transform(["a great thing", "so bad", "neutral"])
+    np.testing.assert_array_equal(out, [[1, 0], [0, 1], [0, 0]])
+    learned = BagOfWordsVectorizer(max_features=3).fit(
+        ["alpha beta", "alpha gamma", "alpha beta gamma delta"])
+    assert len(learned.vocabulary) == 3 and "alpha" in learned.vocabulary
+    with pytest.raises(ModelError):
+        BagOfWordsVectorizer().transform(["x"])
+
+
+def test_pipeline_composition():
+    X, y = _classification_data()
+    pipeline = Pipeline([
+        ("scaler", StandardScaler()),
+        ("clf", LogisticRegression(epochs=100)),
+    ]).fit(X, y)
+    assert (pipeline.predict(X) == y).mean() > 0.9
+    assert pipeline.named_steps["scaler"].mean_ is not None
+    with pytest.raises(ModelError):
+        Pipeline([])

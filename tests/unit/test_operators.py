@@ -1,0 +1,174 @@
+"""Unit tests for the tensor-program relational operators (via SQL execution).
+
+Each test runs a small SQL query through the full TQP stack and checks the
+result against values computed by hand, exercising one operator family at a
+time (the integration suite covers multi-operator TPC-H queries).
+"""
+
+import numpy as np
+import pytest
+
+from repro import DataFrame, TQPSession
+from repro.errors import ExecutionError
+
+
+def _session():
+    left = DataFrame({
+        "k": np.array([1, 2, 3, 4], dtype=np.int64),
+        "grp": np.array(["a", "b", "a", "c"], dtype=object),
+        "v": np.array([10.0, 20.0, 30.0, 40.0]),
+    })
+    right = DataFrame({
+        "k": np.array([1, 1, 3, 5], dtype=np.int64),
+        "w": np.array([100.0, 200.0, 300.0, 500.0]),
+    })
+    session = TQPSession()
+    session.register("left_t", left)
+    session.register("right_t", right)
+    return session
+
+
+def test_filter_and_project():
+    session = _session()
+    out = session.sql("select k, v * 2 as double_v from left_t where v >= 20")
+    assert out.to_dict() == {"k": [2, 3, 4], "double_v": [40.0, 60.0, 80.0]}
+
+
+def test_inner_join_duplicate_build_keys():
+    session = _session()
+    out = session.sql(
+        "select left_t.k, w from left_t, right_t where left_t.k = right_t.k "
+        "order by left_t.k, w")
+    assert out.to_dict() == {"k": [1, 1, 3], "w": [100.0, 200.0, 300.0]}
+
+
+def test_left_outer_join_produces_nulls():
+    session = _session()
+    out = session.sql(
+        "select left_t.k, w from left_t left outer join right_t "
+        "on left_t.k = right_t.k order by left_t.k, w")
+    data = out.to_dict()
+    assert data["k"] == [1, 1, 2, 3, 4]
+    assert data["w"][2] is None and data["w"][4] is None
+
+
+def test_join_with_residual_condition():
+    session = _session()
+    out = session.sql(
+        "select left_t.k, w from left_t join right_t on left_t.k = right_t.k "
+        "and w > 150 order by left_t.k")
+    assert out.to_dict() == {"k": [1, 3], "w": [200.0, 300.0]}
+
+
+def test_semi_and_anti_join_via_exists():
+    session = _session()
+    semi = session.sql(
+        "select k from left_t where exists "
+        "(select * from right_t where right_t.k = left_t.k) order by k")
+    assert semi.to_dict() == {"k": [1, 3]}
+    anti = session.sql(
+        "select k from left_t where not exists "
+        "(select * from right_t where right_t.k = left_t.k) order by k")
+    assert anti.to_dict() == {"k": [2, 4]}
+
+
+def test_cross_join_via_nested_loop():
+    session = _session()
+    out = session.sql("select count(*) as pairs from left_t, right_t")
+    assert out.to_dict() == {"pairs": [16]}
+
+
+def test_group_by_aggregates():
+    session = _session()
+    out = session.sql(
+        "select grp, count(*) as n, sum(v) as total, avg(v) as mean, "
+        "min(v) as low, max(v) as high from left_t group by grp order by grp")
+    assert out.to_dict() == {
+        "grp": ["a", "b", "c"],
+        "n": [2, 1, 1],
+        "total": [40.0, 20.0, 40.0],
+        "mean": [20.0, 20.0, 40.0],
+        "low": [10.0, 20.0, 40.0],
+        "high": [30.0, 20.0, 40.0],
+    }
+
+
+def test_global_aggregate_and_count_distinct():
+    session = _session()
+    out = session.sql("select count(*) as n, count(distinct grp) as groups, "
+                      "sum(v) as total from left_t")
+    assert out.to_dict() == {"n": [4], "groups": [3], "total": [100.0]}
+
+
+def test_global_aggregate_over_empty_input_is_null():
+    session = _session()
+    out = session.sql("select sum(v) as total, count(*) as n from left_t where v > 999")
+    assert out.to_dict() == {"total": [None], "n": [0]}
+
+
+def test_sort_multi_key_and_desc():
+    session = _session()
+    out = session.sql("select grp, v from left_t order by grp desc, v asc")
+    assert out.to_dict()["grp"] == ["c", "b", "a", "a"]
+    assert out.to_dict()["v"] == [40.0, 20.0, 10.0, 30.0]
+
+
+def test_sort_by_string_key():
+    session = _session()
+    out = session.sql("select grp from left_t order by grp")
+    assert out.to_dict()["grp"] == ["a", "a", "b", "c"]
+
+
+def test_limit_and_distinct():
+    session = _session()
+    assert session.sql("select k from left_t order by k limit 2").to_dict() == \
+        {"k": [1, 2]}
+    assert session.sql("select k from left_t order by k limit 99").num_rows == 4
+    distinct = session.sql("select distinct grp from left_t order by grp")
+    assert distinct.to_dict() == {"grp": ["a", "b", "c"]}
+
+
+def test_in_subquery_and_scalar_subquery_runtime():
+    session = _session()
+    out = session.sql(
+        "select k from left_t where k in (select k from right_t) order by k")
+    assert out.to_dict() == {"k": [1, 3]}
+    out = session.sql(
+        "select k from left_t where v > (select avg(v) from left_t) order by k")
+    assert out.to_dict() == {"k": [3, 4]}
+    out = session.sql(
+        "select k from left_t where k not in (select k from right_t) order by k")
+    assert out.to_dict() == {"k": [2, 4]}
+
+
+def test_derived_table_and_cte():
+    session = _session()
+    out = session.sql(
+        "with totals as (select grp, sum(v) as s from left_t group by grp) "
+        "select grp, s from totals where s > 25 order by grp")
+    assert out.to_dict() == {"grp": ["a", "c"], "s": [40.0, 40.0]}
+    out = session.sql(
+        "select big.grp from (select grp, sum(v) as s from left_t group by grp) "
+        "as big where big.s >= 40 order by big.grp")
+    assert out.to_dict() == {"grp": ["a", "c"]}
+
+
+def test_empty_filter_result_propagates_through_join_and_aggregate():
+    session = _session()
+    out = session.sql(
+        "select grp, count(*) as n from left_t, right_t "
+        "where left_t.k = right_t.k and v > 1000 group by grp")
+    assert out.num_rows == 0
+
+
+def test_missing_table_raises():
+    session = _session()
+    with pytest.raises(Exception):
+        session.sql("select * from nonexistent")
+
+
+def test_executor_rejects_mismatched_inputs():
+    session = _session()
+    compiled = session.compile("select k from left_t where v > 0")
+    with pytest.raises(ExecutionError):
+        compiled.executor.execute({})

@@ -1,0 +1,70 @@
+"""Unit tests for dtypes and devices."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceError, DTypeError
+from repro.tensor import CPU, CUDA, Device, dtype as dtypes, ops, parse_device
+
+
+def test_dtype_lookup_by_name_and_numpy():
+    assert dtypes.by_name("float32") is dtypes.float32
+    assert dtypes.from_numpy(np.dtype(np.int64)) is dtypes.int64
+    assert dtypes.from_numpy(np.int16) is dtypes.int64  # promoted
+    assert dtypes.from_numpy(np.float16) is dtypes.float64  # promoted
+    with pytest.raises(DTypeError):
+        dtypes.by_name("decimal")
+    with pytest.raises(DTypeError):
+        dtypes.from_numpy(np.dtype("U4"))
+
+
+def test_dtype_properties():
+    assert dtypes.float64.is_floating and dtypes.float64.is_numeric
+    assert dtypes.int32.is_integer and not dtypes.int32.is_floating
+    assert not dtypes.bool_.is_numeric
+    assert dtypes.int64.itemsize == 8
+
+
+def test_result_type_promotion():
+    assert dtypes.result_type(dtypes.int64, dtypes.float32) is dtypes.float64
+    assert dtypes.result_type(dtypes.int32, dtypes.int64) is dtypes.int64
+    with pytest.raises(DTypeError):
+        dtypes.result_type()
+
+
+def test_parse_device():
+    assert parse_device(None) == CPU
+    assert parse_device("cpu") == CPU
+    assert parse_device("cuda") == CUDA
+    assert parse_device("cuda:1") == Device("cuda", 1)
+    assert str(Device("cuda", 1)) == "cuda:1"
+    assert parse_device(CUDA) is CUDA
+    with pytest.raises(DeviceError):
+        parse_device("tpu")
+    with pytest.raises(DeviceError):
+        Device("cuda", -1)
+    with pytest.raises(DeviceError):
+        parse_device("cuda:x")
+    with pytest.raises(DeviceError):
+        parse_device(42)
+
+
+def test_device_simulation_flags():
+    assert not CPU.is_simulated
+    assert CUDA.is_simulated
+    assert parse_device("wasm").is_simulated
+
+
+def test_cross_device_operations_rejected():
+    a = ops.tensor([1.0], device="cpu")
+    b = ops.tensor([1.0], device="cuda")
+    with pytest.raises(DeviceError):
+        ops.add(a, b)
+
+
+def test_to_device_round_trip():
+    a = ops.tensor([1.0, 2.0])
+    moved = a.to("cuda")
+    assert str(moved.device) == "cuda:0"
+    assert moved.to("cuda") is moved  # no-op move returns the same tensor
+    np.testing.assert_array_equal(moved.numpy(), a.numpy())

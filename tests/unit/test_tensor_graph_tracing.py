@@ -1,0 +1,107 @@
+"""Unit tests for graph capture (tracing) and the graph interpreter."""
+
+import numpy as np
+import pytest
+
+from repro import tensor as T
+from repro.errors import GraphError
+from repro.tensor import GraphInterpreter, ops, trace
+
+
+def test_trace_simple_expression():
+    a = ops.tensor([1.0, 2.0])
+    b = ops.tensor([3.0, 4.0])
+
+    def fn(x, y):
+        return ops.sum_(x * y + 1.0)
+
+    graph = trace(fn, [a, b])
+    assert [node.op for node in graph.nodes] == ["mul", "add", "sum"]
+    assert len(graph.inputs) == 2
+    # the literal 1.0 became a captured constant
+    assert len(graph.initializers) == 1
+
+
+def test_trace_replay_on_new_inputs():
+    def fn(x):
+        return ops.mul(x, 3.0)
+
+    graph = trace(fn, [ops.tensor([1.0, 2.0])])
+    out = GraphInterpreter(graph).run([ops.tensor([5.0, 7.0])])
+    np.testing.assert_allclose(out[0].numpy(), [15.0, 21.0])
+
+
+def test_trace_multiple_outputs():
+    def fn(x):
+        return ops.min_(x), ops.max_(x)
+
+    graph = trace(fn, [ops.tensor([4.0, 9.0, 2.0])])
+    assert len(graph.outputs) == 2
+    out = GraphInterpreter(graph).run([ops.tensor([4.0, 9.0, 2.0])])
+    assert out[0].item() == 2.0 and out[1].item() == 9.0
+
+
+def test_trace_captures_external_tensor_as_constant():
+    weights = ops.tensor([2.0, 2.0, 2.0])
+
+    def fn(x):
+        return ops.sum_(ops.mul(x, weights))
+
+    graph = trace(fn, [ops.tensor([1.0, 1.0, 1.0])])
+    assert len(graph.initializers) == 1
+    out = GraphInterpreter(graph).run([ops.tensor([1.0, 2.0, 3.0])])
+    assert out[0].item() == 12.0
+
+
+def test_trace_output_that_is_an_input():
+    def fn(x):
+        return x
+
+    graph = trace(fn, [ops.tensor([1.0])])
+    out = GraphInterpreter(graph).run([ops.tensor([42.0])])
+    assert out[0].item() == 42.0
+
+
+def test_nested_traces_rejected():
+    def fn(x):
+        trace(lambda y: y + 1, [ops.tensor([1.0])])
+        return x
+
+    with pytest.raises(GraphError):
+        trace(fn, [ops.tensor([1.0])])
+
+
+def test_trace_rejects_non_tensor_inputs_and_outputs():
+    with pytest.raises(GraphError):
+        trace(lambda x: x, [3.0])
+    with pytest.raises(GraphError):
+        trace(lambda x: 3.0, [ops.tensor([1.0])])
+
+
+def test_interpreter_validates_input_arity():
+    graph = trace(lambda x: x + 1, [ops.tensor([1.0])])
+    with pytest.raises(GraphError):
+        GraphInterpreter(graph).run([])
+
+
+def test_graph_validate_detects_undefined_values():
+    graph = T.Graph("broken")
+    value = graph.new_value("phantom")
+    graph.add_node("neg", [value.id], 1)
+    with pytest.raises(GraphError):
+        graph.validate()
+
+
+def test_graph_clone_is_independent():
+    graph = trace(lambda x: x * 2, [ops.tensor([1.0])])
+    clone = graph.clone()
+    clone.nodes.clear()
+    assert len(graph.nodes) == 1
+
+
+def test_graph_op_counts_and_repr():
+    graph = trace(lambda x: ops.add(ops.mul(x, 2.0), ops.mul(x, 2.0)),
+                  [ops.tensor([1.0])])
+    counts = graph.op_counts()
+    assert counts["mul"] == 2 and counts["add"] == 1
+    assert "graph" in repr(graph)

@@ -1,0 +1,90 @@
+"""Unit tests for graph optimization passes."""
+
+import numpy as np
+
+from repro.tensor import GraphInterpreter, ops, passes, trace
+
+
+def _run(graph, *arrays):
+    return GraphInterpreter(graph).run([ops.tensor(a) for a in arrays])
+
+
+def test_dead_code_elimination_removes_unused_nodes():
+    def fn(x):
+        ops.mul(x, 100.0)        # dead
+        return ops.add(x, 1.0)
+
+    graph = trace(fn, [ops.tensor([1.0])])
+    assert len(graph.nodes) == 2
+    passes.dead_code_elimination(graph)
+    assert [n.op for n in graph.nodes] == ["add"]
+    np.testing.assert_allclose(_run(graph, [5.0])[0].numpy(), [6.0])
+
+
+def test_constant_folding_evaluates_constant_subgraphs():
+    def fn(x):
+        constant = ops.mul(ops.tensor([2.0, 2.0]), ops.tensor([3.0, 3.0]))
+        return ops.add(x, constant)
+
+    graph = trace(fn, [ops.tensor([1.0, 1.0])])
+    passes.constant_folding(graph)
+    assert [n.op for n in graph.nodes] == ["add"]
+    np.testing.assert_allclose(_run(graph, [1.0, 2.0])[0].numpy(), [7.0, 8.0])
+
+
+def test_cse_merges_identical_subexpressions():
+    def fn(x):
+        return ops.add(ops.mul(x, 2.0), ops.mul(x, 2.0))
+
+    graph = trace(fn, [ops.tensor([1.0])])
+    assert sum(1 for n in graph.nodes if n.op == "mul") == 2
+    passes.common_subexpression_elimination(graph)
+    passes.dead_code_elimination(graph)
+    assert sum(1 for n in graph.nodes if n.op == "mul") == 1
+    np.testing.assert_allclose(_run(graph, [3.0])[0].numpy(), [12.0])
+
+
+def test_peephole_collapses_cast_chains():
+    def fn(x):
+        return ops.cast(ops.cast(x, "float32"), "int64")
+
+    graph = trace(fn, [ops.tensor([1.9])])
+    passes.peephole(graph)
+    passes.dead_code_elimination(graph)
+    assert sum(1 for n in graph.nodes if n.op == "cast") == 1
+    assert _run(graph, [2.9])[0].tolist() == [2]
+
+
+def test_peephole_removes_noop_cast():
+    def fn(x):
+        return ops.add(ops.cast(x, "float64"), 1.0)
+
+    graph = trace(fn, [ops.tensor([1.0])])
+    passes.optimize(graph)
+    assert all(n.op != "cast" for n in graph.nodes)
+    np.testing.assert_allclose(_run(graph, [1.0])[0].numpy(), [2.0])
+
+
+def test_optimize_preserves_results_on_composite_program():
+    def fn(x, y):
+        mask = ops.logical_and(x > 1.0, x > 1.0)   # duplicate comparison (CSE)
+        kept = ops.boolean_mask(y, mask)
+        return ops.sum_(ops.mul(kept, ops.add(ops.tensor(1.0), ops.tensor(1.0))))
+
+    example = [ops.tensor([0.5, 2.0, 3.0]), ops.tensor([10.0, 20.0, 30.0])]
+    graph = trace(fn, example)
+    expected = GraphInterpreter(graph.clone()).run(example)[0].item()
+    optimized = passes.optimize(graph)
+    assert GraphInterpreter(optimized).run(example)[0].item() == expected
+    assert len(optimized.nodes) < 8
+
+
+def test_impure_ops_not_folded_or_merged():
+    def fn(x):
+        a = ops.to_device(x, "cuda")
+        b = ops.to_device(x, "cuda")
+        return ops.add(a, b)
+
+    graph = trace(fn, [ops.tensor([1.0])])
+    passes.optimize(graph)
+    assert sum(1 for n in graph.nodes if n.op == "to_device") == 2

@@ -1,0 +1,64 @@
+"""Unit tests for the visualization artifacts (breakdowns, graph exports)."""
+
+import json
+
+import numpy as np
+
+from repro import DataFrame, TQPSession
+from repro.viz import (
+    breakdown_dict,
+    format_breakdown,
+    format_outline,
+    graph_summary,
+    graph_to_dot,
+    kernel_breakdown,
+    operator_breakdown,
+    save_graph_dot,
+    save_graph_json,
+)
+
+
+def _compiled_query():
+    session = TQPSession()
+    session.register("t", DataFrame({
+        "g": np.array(["a", "b", "a", "c"], dtype=object),
+        "v": np.array([1.0, 2.0, 3.0, 4.0]),
+    }))
+    return session, session.compile(
+        "select g, sum(v) as s from t where v > 1 group by g order by s desc")
+
+
+def test_operator_and_kernel_breakdowns():
+    session, compiled = _compiled_query()
+    outcome = compiled.execute(profile=True)
+    operators = operator_breakdown(outcome.profile)
+    kernels = kernel_breakdown(outcome.profile, top_k=5)
+    assert operators and kernels
+    assert len(kernels) <= 5
+    text = format_breakdown(operators, "title")
+    assert "title" in text and "share" in text
+    payload = breakdown_dict(operators)
+    assert {"name", "calls", "total_s"} <= set(payload[0])
+    json.dumps(payload)  # must be JSON serializable
+
+
+def test_graph_exports(tmp_path):
+    session, compiled = _compiled_query()
+    graph = compiled.executor_graph()
+
+    dot = graph_to_dot(graph)
+    assert dot.startswith("digraph") and "->" in dot
+
+    summary = graph_summary(graph)
+    assert summary["num_nodes"] == len(graph.nodes)
+    assert summary["op_counts"]
+
+    dot_path = tmp_path / "graph.dot"
+    json_path = tmp_path / "graph.json"
+    save_graph_dot(graph, str(dot_path))
+    save_graph_json(graph, str(json_path))
+    assert dot_path.read_text().startswith("digraph")
+    assert json.loads(json_path.read_text())["num_nodes"] == len(graph.nodes)
+
+    outline = format_outline(graph, max_nodes=3)
+    assert "executor graph" in outline and "more ops" in outline
