@@ -19,6 +19,9 @@ import dataclasses
 
 from repro.tensor.profiler import Profiler
 
+#: Ops charged by cost models as host<->device transfers rather than kernels.
+TRANSFER_OPS = frozenset({"to_device"})
+
 
 @dataclasses.dataclass(frozen=True)
 class BackendSpec:
@@ -53,13 +56,19 @@ class DeviceCostModel:
 
     name = "measured"
 
-    def report_time(self, measured_s: float, profile: Profiler | None) -> float:
+    def report_time(self, measured_s: float, profile: Profiler | None,
+                    interpreter_overhead_s: float = 0.0) -> float:
         """Return the execution time to report for a run.
 
         Args:
             measured_s: wall-clock seconds of the real (numpy) execution.
             profile: op-level profile of that execution (may be ``None`` when
                 profiling was disabled; cost models must degrade gracefully).
+            interpreter_overhead_s: per-node dispatch overhead the executing
+                backend already burned into ``measured_s`` (the ONNX-like
+                interpreter's busy-wait).  Simulated devices that charge their
+                own dispatch cost subtract this first so the native overhead
+                is never charged twice.
         """
         return measured_s
 

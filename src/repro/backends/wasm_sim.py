@@ -10,7 +10,7 @@ represents WASM code generation quality and the weaker client machine.
 
 from __future__ import annotations
 
-from repro.backends.base import DeviceCostModel
+from repro.backends.base import TRANSFER_OPS, DeviceCostModel
 from repro.tensor.profiler import Profiler
 
 
@@ -25,11 +25,28 @@ class SimulatedWASM(DeviceCostModel):
         #: JS/WASM boundary crossing cost charged per executed op.
         self.per_op_overhead_s = per_op_overhead_s
 
-    def report_time(self, measured_s: float, profile: Profiler | None) -> float:
-        dispatch = 0.0
-        if profile is not None:
-            dispatch = len(profile.events) * self.per_op_overhead_s
-        return measured_s * self.slowdown + dispatch
+    def report_time(self, measured_s: float, profile: Profiler | None,
+                    interpreter_overhead_s: float = 0.0) -> float:
+        """``(measured - native_dispatch) × slowdown + events × per_op_overhead``.
+
+        The native interpreter burns ``interpreter_overhead_s`` of real wall
+        time per executed node (the ONNX backend's dispatch simulation), and
+        ``per_op_overhead_s`` models the JS/WASM boundary cost for the same
+        dispatches.  Charging both — and multiplying the burned time by the
+        WASM slowdown on top — double-counted dispatch, so the burned share is
+        subtracted before the kernel slowdown is applied.  Only kernel events
+        were actually burned: the interpreter's initial input moves (the
+        ``to_device`` transfer events) happen before its dispatch loop.  Each
+        profiler event still pays the boundary cost once, so fused
+        elementwise chains pay it once per fused kernel.
+        """
+        if profile is None:
+            return measured_s * self.slowdown
+        n_boundary_crossings = len(profile.events)
+        _, kernels = profile.partition(TRANSFER_OPS)
+        kernel_s = max(0.0, measured_s - len(kernels) * interpreter_overhead_s)
+        return (kernel_s * self.slowdown
+                + n_boundary_crossings * self.per_op_overhead_s)
 
     def describe(self) -> dict:
         return {

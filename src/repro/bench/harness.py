@@ -47,6 +47,10 @@ class BenchResult:
     simulated: bool
     times_s: list[float]
     result: DataFrame
+    #: Session plan-cache counters observed for this measurement (hit/miss/…),
+    #: plus whether this compile was served from the cache.  ``None`` for
+    #: systems without a plan cache (the row-engine baseline).
+    plan_cache: Optional[dict] = None
 
     @property
     def median_s(self) -> float:
@@ -59,9 +63,13 @@ class BenchResult:
 
 def time_tqp(session: TQPSession, sql: str, backend: str = "torchscript",
              device: str = "cpu", runs: int = 5, warmup: int = 2,
-             profile: bool = False) -> BenchResult:
+             profile: bool = False, use_cache: bool = True) -> BenchResult:
     """Compile ``sql`` once and measure ``runs`` executions after ``warmup``."""
-    query = session.compile(sql, backend=backend, device=device)
+    hits_before = session.plan_cache.hits
+    compile_start = time.perf_counter()
+    query = session.compile(sql, backend=backend, device=device,
+                            use_cache=use_cache)
+    compile_s = time.perf_counter() - compile_start
     inputs = session.prepare_inputs(query.executor)
     for _ in range(warmup):
         query.executor.execute(inputs, profile=profile)
@@ -70,11 +78,15 @@ def time_tqp(session: TQPSession, sql: str, backend: str = "torchscript",
         outcome = query.executor.execute(inputs, profile=profile)
         times.append(outcome.reported_s)
         last = outcome
+    cache_stats = dict(session.plan_cache.stats())
+    cache_stats["compile_s"] = compile_s
+    cache_stats["served_from_cache"] = session.plan_cache.hits > hits_before
     return BenchResult(
         system=f"TQP-{device.upper()}" if device != "cpu" else "TQP-CPU",
         backend=backend, device=device,
         simulated=query.executor.device.is_simulated,
         times_s=times, result=last.to_dataframe(),
+        plan_cache=cache_stats,
     )
 
 

@@ -27,6 +27,7 @@ from repro.core import ir_builder, ir_optimizer
 from repro.core.columnar import TensorTable, TensorColumn
 from repro.core.executor import ExecutionResult, Executor
 from repro.core.ir import IRNode
+from repro.core.plan_cache import PlanCache, normalize_sql
 from repro.core.planner import OperatorPlan, plan_ir
 from repro.dataframe import DataFrame
 from repro.errors import CatalogError, ExecutionError
@@ -46,6 +47,10 @@ class CompiledQuery:
     operator_plan: OperatorPlan
     executor: Executor
     session: "TQPSession"
+    #: ``(table, version)`` pairs of the scanned tables at compile time; the
+    #: plan cache revalidates this on every hit so a re-registered table can
+    #: never be served a stale traced program.
+    schema_fingerprint: Optional[tuple] = None
 
     def execute(self, profile: bool = False) -> ExecutionResult:
         """Run the query against the session's registered tables."""
@@ -78,7 +83,8 @@ class TQPSession:
     """Entry point: register data and models, compile SQL, execute on backends."""
 
     def __init__(self, default_backend: str = "pytorch",
-                 default_device: Device | str = "cpu"):
+                 default_device: Device | str = "cpu",
+                 plan_cache_size: int = 64):
         if default_backend not in BACKENDS:
             raise ExecutionError(f"unknown backend {default_backend!r}")
         self.default_backend = default_backend
@@ -87,16 +93,26 @@ class TQPSession:
         self._dataframes: dict[str, DataFrame] = {}
         self._models: dict[str, Callable] = {}
         self._conversion_cache: dict[tuple, TensorTable] = {}
+        #: Compiled-plan LRU: repeated queries skip parse→optimize→plan→trace.
+        self.plan_cache = PlanCache(capacity=plan_cache_size)
+        self._table_versions: dict[str, int] = {}
 
     # -- data & model registration ------------------------------------------
 
     def register(self, name: str, frame: DataFrame) -> None:
         """Register a DataFrame as a queryable table."""
         self.catalog.register(name, frame)
-        self._dataframes[name.lower()] = frame
-        stale = [key for key in self._conversion_cache if key[0] == name.lower()]
-        for key in stale:
-            del self._conversion_cache[key]
+        key = name.lower()
+        self._dataframes[key] = frame
+        stale = [k for k in self._conversion_cache if k[0] == key]
+        for k in stale:
+            del self._conversion_cache[k]
+        # Traced programs bake data-dependent sizes in, so (re)registering a
+        # table must drop every cached plan that scans it; bumping the table
+        # version also changes the schema fingerprint for future keys.
+        self._table_versions[key] = self._table_versions.get(key, 0) + 1
+        self.plan_cache.remove_if(
+            lambda q: any(scan.table.lower() == key for scan in q.operator_plan.scans))
 
     def register_model(self, name: str, model) -> None:
         """Register an ML model for use with ``PREDICT('name', cols...)``.
@@ -111,6 +127,8 @@ class TQPSession:
             self._models[name] = model
         else:
             self._models[name] = compile_model(model)
+        # Compiled executors captured the model table at compile time.
+        self.plan_cache.clear()
 
     def table_names(self) -> list[str]:
         return self.catalog.table_names()
@@ -123,9 +141,25 @@ class TQPSession:
 
     # -- compilation -------------------------------------------------------------
 
+    def _scan_fingerprint(self, operator_plan: OperatorPlan) -> tuple:
+        """Schema fingerprint of a plan: the scanned tables' current versions.
+
+        Every schema or data change goes through :meth:`register`, which bumps
+        the table's version, so comparing this fingerprint at cache-hit time
+        guarantees a stale compiled plan can never be served.
+        """
+        return tuple(sorted({
+            (scan.table.lower(), self._table_versions.get(scan.table.lower(), 0))
+            for scan in operator_plan.scans
+        }))
+
+    def _plan_is_current(self, compiled: CompiledQuery) -> bool:
+        return (compiled.schema_fingerprint
+                == self._scan_fingerprint(compiled.operator_plan))
+
     def compile(self, sql: str, backend: Optional[str] = None,
                 device: Device | str | None = None,
-                optimize: bool = True) -> CompiledQuery:
+                optimize: bool = True, use_cache: bool = True) -> CompiledQuery:
         """Compile a SQL query down to an Executor.
 
         Args:
@@ -135,17 +169,33 @@ class TQPSession:
             device: ``cpu``, ``cuda`` (simulated), or ``wasm`` (simulated,
                 requires the ``onnx`` backend); defaults to the session's device.
             optimize: apply frontend optimizer rules (disable for ablations).
+            use_cache: serve repeated queries from the session's compiled-plan
+                cache (keyed by normalized SQL, backend, device and optimize
+                flag; each entry's schema fingerprint is revalidated on hit).
+                A hit returns the *same* :class:`CompiledQuery`, so an
+                already-traced program is reused and parse→optimize→plan→trace
+                are all skipped.
         """
         backend = backend or self.default_backend
         device = parse_device(device) if device is not None else self.default_device
+        cache_key = None
+        if use_cache:
+            cache_key = (normalize_sql(sql), backend, str(device), optimize)
+            cached = self.plan_cache.get(cache_key, validate=self._plan_is_current)
+            if cached is not None:
+                return cached
         physical = sql_to_physical(sql, self.catalog, optimized=optimize)
         query_ir = ir_optimizer.optimize_ir(ir_builder.build_ir(physical))
         operator_plan = plan_ir(query_ir)
         executor = Executor(operator_plan, backend=backend, device=device,
                             models=dict(self._models))
-        return CompiledQuery(sql=sql, physical_plan=physical, ir=query_ir,
-                             operator_plan=operator_plan, executor=executor,
-                             session=self)
+        compiled = CompiledQuery(sql=sql, physical_plan=physical, ir=query_ir,
+                                 operator_plan=operator_plan, executor=executor,
+                                 session=self,
+                                 schema_fingerprint=self._scan_fingerprint(operator_plan))
+        if cache_key is not None:
+            self.plan_cache.put(cache_key, compiled)
+        return compiled
 
     def sql(self, sql: str, backend: Optional[str] = None,
             device: Device | str | None = None) -> DataFrame:

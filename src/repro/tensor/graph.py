@@ -106,6 +106,25 @@ class Graph:
             counts[node.op] = counts.get(node.op, 0) + 1
         return counts
 
+    def referenced_values(self) -> set[int]:
+        """All value ids reachable from inputs, initializers, nodes, outputs."""
+        referenced: set[int] = set(self.inputs) | set(self.initializers)
+        referenced.update(self.outputs)
+        for node in self.nodes:
+            referenced.update(node.inputs)
+            referenced.update(node.outputs)
+        return referenced
+
+    def prune_values(self) -> None:
+        """Drop metadata for values no node references any more.
+
+        Passes that swallow intermediate values (e.g. elementwise fusion,
+        which keeps them alive only inside a fused kernel's local program)
+        call this so ``values`` stays in sync with the visible graph.
+        """
+        referenced = self.referenced_values()
+        self.values = {vid: v for vid, v in self.values.items() if vid in referenced}
+
     def validate(self) -> None:
         """Check structural invariants; raise :class:`GraphError` on violation."""
         defined: set[int] = set(self.inputs) | set(self.initializers)

@@ -51,6 +51,13 @@ class GraphInterpreter:
             node_device = dev
             if node.op == "to_device":
                 node_device = parse_device(node.attrs.get("device"))
+                # A traced transfer whose input already lives on the target
+                # device is a no-op: forward the tensor without dispatching,
+                # so cost models never charge the same PCIe move twice (the
+                # interpreter already moved graph inputs above).
+                if node_inputs and node_inputs[0].device == node_device:
+                    env[node.outputs[0]] = node_inputs[0]
+                    continue
             outputs = ops.execute_op(node.op, node_inputs, node.attrs, node_device)
             if self.per_node_overhead_s:
                 self._burn(self.per_node_overhead_s)

@@ -34,9 +34,45 @@ def _decode_array(payload: dict[str, Any]) -> np.ndarray:
     return array.reshape(tuple(payload["shape"]))
 
 
+def _validate_fused_node(op: str, n_inputs: int, n_outputs: int, attrs: dict) -> None:
+    """Check the local-SSA invariants of a ``fused_kernel`` node.
+
+    The fused sub-program is plain JSON (lists of steps with integer value
+    slots), so it survives the portable format untouched; this check keeps a
+    malformed model from failing deep inside the kernel at execution time.
+    """
+    steps = attrs.get("steps")
+    outputs = attrs.get("outputs")
+    if not isinstance(steps, list) or not steps:
+        raise GraphError("fused_kernel node carries no steps")
+    if not isinstance(outputs, list) or len(outputs) != n_outputs:
+        raise GraphError("fused_kernel outputs do not match its node outputs")
+    for j, step in enumerate(steps):
+        limit = n_inputs + j  # slots defined so far: inputs + previous steps
+        if not isinstance(step.get("op"), str) or step["op"] == "fused_kernel":
+            raise GraphError(f"fused_kernel step {j} has an invalid op")
+        step_inputs = step.get("inputs")
+        if not isinstance(step_inputs, list):
+            raise GraphError(f"fused_kernel step {j} is missing its inputs")
+        if any(not isinstance(i, int) or not 0 <= i < limit
+               for i in step_inputs):
+            raise GraphError(f"fused_kernel step {j} reads an undefined slot")
+    n_slots = n_inputs + len(steps)
+    if any(not isinstance(i, int) or not 0 <= i < n_slots for i in outputs):
+        raise GraphError("fused_kernel output reads an undefined slot")
+
+
+def _validate_fused_nodes(graph: Graph) -> None:
+    for node in graph.nodes:
+        if node.op == "fused_kernel":
+            _validate_fused_node(node.op, len(node.inputs), len(node.outputs),
+                                 node.attrs)
+
+
 def export_graph(graph: Graph) -> dict[str, Any]:
     """Serialize ``graph`` into a JSON-compatible model dict."""
     graph.validate()
+    _validate_fused_nodes(graph)
     return {
         "format": FORMAT_NAME,
         "version": FORMAT_VERSION,
@@ -88,6 +124,7 @@ def import_graph(model: dict[str, Any]) -> Graph:
 
     graph._counter = itertools.count(max_id + 1)
     graph.validate()
+    _validate_fused_nodes(graph)
     return graph
 
 

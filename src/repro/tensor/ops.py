@@ -366,6 +366,34 @@ def isin(a: Tensor, values: Tensor) -> Tensor:
 
 
 # ---------------------------------------------------------------------------
+# fused elementwise kernels (produced by passes.fuse_elementwise)
+# ---------------------------------------------------------------------------
+
+
+@register_op("fused_kernel", elementwise=True)
+def _fused_kernel(arrays: list[np.ndarray], attrs: dict) -> list[np.ndarray]:
+    """Execute a fused chain of elementwise ops as one kernel.
+
+    ``attrs`` holds the fused sub-program in local SSA form: values
+    ``0..len(arrays)-1`` are the kernel's inputs, step *j* appends value
+    ``len(arrays)+j``, and ``attrs["outputs"]`` lists the local values the
+    kernel returns.  Inner kernels are invoked directly on numpy arrays, so a
+    fused chain costs one dispatch / one profiler event / one simulated
+    kernel launch regardless of its length.
+    """
+    env: list[np.ndarray] = list(arrays)
+    for step in attrs["steps"]:
+        opdef = OP_REGISTRY.get(step["op"])
+        if opdef is None:
+            raise TensorRuntimeError(
+                f"fused_kernel references unknown op {step['op']!r}"
+            )
+        step_inputs = [env[i] for i in step["inputs"]]
+        env.extend(opdef.kernel(step_inputs, step.get("attrs") or {}))
+    return [env[i] for i in attrs["outputs"]]
+
+
+# ---------------------------------------------------------------------------
 # reductions
 # ---------------------------------------------------------------------------
 

@@ -22,6 +22,10 @@ _CREATION_OPS = {"zeros", "full", "arange"}
 # execution environment rather than only on input values.
 _IMPURE_OPS = {"to_device"}
 
+# Never fuse these: impure ops, and already-fused kernels (fusion is one-shot;
+# nesting fused programs would complicate the local SSA numbering for no win).
+_FUSION_BLOCKLIST = _IMPURE_OPS | {"fused_kernel"}
+
 
 def dead_code_elimination(graph: Graph) -> Graph:
     """Drop nodes whose outputs do not (transitively) reach a graph output."""
@@ -138,8 +142,161 @@ def peephole(graph: Graph) -> Graph:
     return graph
 
 
+def _is_fusible(node: Node) -> bool:
+    if node.op in _FUSION_BLOCKLIST or len(node.outputs) != 1:
+        return False
+    opdef = ops.OP_REGISTRY.get(node.op)
+    return opdef is not None and opdef.elementwise
+
+
+def _build_fused_node(group: list[Node], external_used: set[int]) -> Node:
+    """Collapse ``group`` (in execution order) into one ``fused_kernel`` node.
+
+    The fused sub-program uses local SSA numbering: the node's external inputs
+    occupy slots ``0..k-1`` (in order of first use) and step *j* produces slot
+    ``k+j``.  Only values consumed outside the group become node outputs; the
+    rest live and die inside the kernel.
+    """
+    produced = {node.outputs[0] for node in group}
+    ext_inputs: list[int] = []
+    local: dict[int, int] = {}
+    for node in group:
+        for vid in node.inputs:
+            if vid not in produced and vid not in local:
+                local[vid] = len(ext_inputs)
+                ext_inputs.append(vid)
+    base = len(ext_inputs)
+    for j, node in enumerate(group):
+        local[node.outputs[0]] = base + j
+    steps = [
+        {"op": node.op, "inputs": [local[vid] for vid in node.inputs],
+         "attrs": dict(node.attrs)}
+        for node in group
+    ]
+    exposed = [node.outputs[0] for node in group if node.outputs[0] in external_used]
+    if not exposed:  # fully dead group (DCE not run): keep the last value alive
+        exposed = [group[-1].outputs[0]]
+    attrs = {
+        "steps": steps,
+        "outputs": [local[vid] for vid in exposed],
+        "label": "+".join(node.op for node in group),
+    }
+    return Node("fused_kernel", ext_inputs, exposed, attrs)
+
+
+def _schedule_for_fusion(graph: Graph) -> None:
+    """Topologically reorder ``graph.nodes`` to maximize elementwise runs.
+
+    List scheduling over the dependency DAG with two ready queues: drain
+    non-fusible nodes first (stable by original position), and when none are
+    ready emit every ready fusible node as one burst — fusible nodes unlocked
+    mid-burst join it.  Nodes are pure dataflow, so any topological order
+    computes identical results; this one clusters elementwise ops that were
+    interleaved with other work (e.g. the arithmetic of two independent join
+    pipelines) into contiguous runs the fusion grouping below can merge.
+    """
+    import heapq
+
+    nodes = graph.nodes
+    producer: dict[int, int] = {}
+    for i, node in enumerate(nodes):
+        for vid in node.outputs:
+            producer[vid] = i
+    indegree = [0] * len(nodes)
+    dependents: list[list[int]] = [[] for _ in nodes]
+    for i, node in enumerate(nodes):
+        for j in {producer[vid] for vid in node.inputs if vid in producer}:
+            indegree[i] += 1
+            dependents[j].append(i)
+    ready_fusible: list[int] = []
+    ready_other: list[int] = []
+    for i, node in enumerate(nodes):
+        if indegree[i] == 0:
+            heapq.heappush(ready_fusible if _is_fusible(node) else ready_other, i)
+    order: list[int] = []
+    in_burst = False
+    while ready_fusible or ready_other:
+        if (in_burst and ready_fusible) or not ready_other:
+            i = heapq.heappop(ready_fusible)
+            in_burst = True
+        else:
+            i = heapq.heappop(ready_other)
+            in_burst = False
+        order.append(i)
+        for j in dependents[i]:
+            indegree[j] -= 1
+            if indegree[j] == 0:
+                heapq.heappush(
+                    ready_fusible if _is_fusible(nodes[j]) else ready_other, j)
+    graph.nodes = [nodes[i] for i in order]
+
+
+def fuse_elementwise(graph: Graph, min_group_size: int = 2) -> Graph:
+    """Greedily merge runs of pure elementwise ops into ``fused_kernel`` nodes.
+
+    Nodes are first rescheduled (topologically) to cluster elementwise ops,
+    then consecutive nodes whose ops carry the ``elementwise`` registry hint
+    are grouped and replaced by a single ``fused_kernel`` node executing the
+    same steps in the same order, so results are bit-identical.  The payoff is
+    dispatch-count physics: the profiler records one event per fused kernel,
+    which makes the simulated GPU's per-launch overhead and the WASM per-op
+    dispatch charge scale with *kernels launched* rather than with the length
+    of scalar expression chains — exactly what kernel fusion buys on real
+    tensor runtimes.
+    """
+    _schedule_for_fusion(graph)
+    runs: list[object] = []
+    current: list[Node] = []
+    for node in graph.nodes:
+        if _is_fusible(node):
+            current.append(node)
+        else:
+            if current:
+                runs.append(current)
+                current = []
+            runs.append(node)
+    if current:
+        runs.append(current)
+
+    # A group-produced value must surface as a fused-node output when any node
+    # of a different group (or the graph output list) consumes it.
+    fused_groups = [run for run in runs if isinstance(run, list)
+                    and len(run) >= min_group_size]
+    member_of: dict[int, int] = {}
+    producer_group: dict[int, int] = {}
+    for gi, group in enumerate(fused_groups):
+        for node in group:
+            member_of[id(node)] = gi
+            producer_group[node.outputs[0]] = gi
+    external_used: dict[int, set[int]] = {gi: set() for gi in range(len(fused_groups))}
+    for node in graph.nodes:
+        consumer_group = member_of.get(id(node))
+        for vid in node.inputs:
+            pg = producer_group.get(vid)
+            if pg is not None and pg != consumer_group:
+                external_used[pg].add(vid)
+    for vid in graph.outputs:
+        pg = producer_group.get(vid)
+        if pg is not None:
+            external_used[pg].add(vid)
+
+    new_nodes: list[Node] = []
+    gi = 0
+    for run in runs:
+        if not isinstance(run, list):
+            new_nodes.append(run)
+        elif len(run) < min_group_size:
+            new_nodes.extend(run)
+        else:
+            new_nodes.append(_build_fused_node(run, external_used[gi]))
+            gi += 1
+    graph.nodes = new_nodes
+    graph.prune_values()
+    return graph
+
+
 DEFAULT_PASSES = (peephole, common_subexpression_elimination, constant_folding,
-                  dead_code_elimination)
+                  dead_code_elimination, fuse_elementwise)
 
 
 def optimize(graph: Graph, passes=DEFAULT_PASSES, validate: bool = True) -> Graph:

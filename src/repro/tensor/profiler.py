@@ -133,6 +133,21 @@ class Profiler:
     def total_bytes(self) -> int:
         return sum(e.total_bytes for e in self.events)
 
+    def partition(self, transfer_ops: "set[str] | frozenset[str]"
+                  ) -> tuple[list[OpEvent], list[OpEvent]]:
+        """Split events into ``(transfer_events, kernel_events)``.
+
+        Device cost models use this to charge host<->device copies against
+        interconnect bandwidth and everything else as kernel launches.  With
+        kernel fusion active, each ``fused_kernel`` event counts as a single
+        launch — the property that makes launch-overhead accounting physical.
+        """
+        transfers: list[OpEvent] = []
+        kernels: list[OpEvent] = []
+        for event in self.events:
+            (transfers if event.op in transfer_ops else kernels).append(event)
+        return transfers, kernels
+
     # -- export --------------------------------------------------------------
 
     def to_chrome_trace(self) -> list[dict]:

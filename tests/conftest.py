@@ -2,11 +2,26 @@
 
 from __future__ import annotations
 
+import pathlib
+
 import numpy as np
 import pytest
 
 from repro import DataFrame, TQPSession
 from repro.bench.harness import tpch_session
+
+_TIERS = ("unit", "integration", "property")
+
+
+def pytest_collection_modifyitems(config, items):
+    """Mark each test with its tier (directory name) so CI can select
+    ``-m "unit or property"`` as the fast tier on every push."""
+    for item in items:
+        parts = pathlib.Path(str(item.fspath)).parts
+        for tier in _TIERS:
+            if tier in parts:
+                item.add_marker(getattr(pytest.mark, tier))
+                break
 
 
 @pytest.fixture

@@ -1,0 +1,139 @@
+"""Unit tests for the session-level compiled-plan cache."""
+
+import numpy as np
+import pytest
+
+from repro import DataFrame, TQPSession
+from repro.core.plan_cache import PlanCache, normalize_sql
+
+SQL = ("select region, sum(amount) as total from sales "
+       "where amount > 10 group by region order by total desc")
+
+
+@pytest.fixture
+def session():
+    frame = DataFrame({
+        "region": np.array(["eu", "us", "eu", "apac", "us"], dtype=object),
+        "amount": np.array([10.0, 25.0, 35.0, 15.0, 5.0]),
+    })
+    session = TQPSession()
+    session.register("sales", frame)
+    return session
+
+
+# -- normalization ---------------------------------------------------------
+
+
+def test_normalize_collapses_whitespace_and_case():
+    assert normalize_sql("SELECT  *\n FROM   Sales ;") == "select * from sales"
+
+
+def test_normalize_preserves_double_quoted_identifiers():
+    # "A" and "a" may be distinct case-sensitive columns; conflating them
+    # in the cache key would serve the wrong query's plan.
+    assert (normalize_sql('select "A" from t')
+            != normalize_sql('select "a" from t'))
+    assert normalize_sql('select "Weird  Col" from t') == 'select "Weird  Col" from t'
+
+
+def test_normalize_preserves_string_literals():
+    normalized = normalize_sql("select * from t where note = 'Gift  Wrap'")
+    assert "'Gift  Wrap'" in normalized
+    assert normalize_sql("select 'it''s  ok'") == "select 'it''s  ok'"
+    assert (normalize_sql("select * from t where a='X'")
+            != normalize_sql("select * from t where a='x'"))
+
+
+# -- LRU mechanics ---------------------------------------------------------
+
+
+def test_plan_cache_lru_eviction_and_counters():
+    cache = PlanCache(capacity=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1          # refreshes 'a'
+    cache.put("c", 3)                   # evicts 'b' (least recently used)
+    assert cache.get("b") is None
+    assert cache.get("c") == 3
+    stats = cache.stats()
+    assert stats["hits"] == 2 and stats["misses"] == 1
+    assert stats["evictions"] == 1 and stats["size"] == 2
+
+
+def test_plan_cache_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        PlanCache(capacity=0)
+
+
+# -- session integration ---------------------------------------------------
+
+
+def test_repeated_compile_hits_cache_and_returns_same_object(session):
+    first = session.compile(SQL, backend="torchscript")
+    second = session.compile("  " + SQL.upper() + " ; ", backend="torchscript")
+    assert second is first
+    stats = session.plan_cache.stats()
+    assert stats["hits"] == 1 and stats["misses"] == 1
+
+
+def test_cache_hit_skips_trace_compilation(session):
+    compiled = session.compile(SQL, backend="torchscript")
+    compiled.run()
+    assert compiled.executor.compile_count == 1
+    again = session.compile(SQL, backend="torchscript")
+    again.run()
+    assert again.executor is compiled.executor
+    assert again.executor.compile_count == 1   # trace was not redone
+
+
+def test_backend_and_device_are_part_of_the_key(session):
+    a = session.compile(SQL, backend="torchscript", device="cpu")
+    b = session.compile(SQL, backend="torchscript", device="cuda")
+    c = session.compile(SQL, backend="pytorch", device="cpu")
+    d = session.compile(SQL, backend="torchscript", device="cpu", optimize=False)
+    assert len({id(a), id(b), id(c), id(d)}) == 4
+    assert session.plan_cache.stats()["hits"] == 0
+
+
+def test_use_cache_false_bypasses_the_cache(session):
+    a = session.compile(SQL, use_cache=False)
+    b = session.compile(SQL, use_cache=False)
+    assert a is not b
+    assert session.plan_cache.stats()["misses"] == 0
+
+
+def test_reregistering_a_table_invalidates_its_plans(session):
+    compiled = session.compile("select sum(amount) as s from sales")
+    assert compiled.run().to_dict() == {"s": [90.0]}
+    session.register("sales", DataFrame({
+        "region": np.array(["eu"], dtype=object),
+        "amount": np.array([1.0]),
+    }))
+    assert session.plan_cache.stats()["invalidations"] >= 1
+    fresh = session.compile("select sum(amount) as s from sales")
+    assert fresh is not compiled
+    assert fresh.run().to_dict() == {"s": [1.0]}
+
+
+def test_registering_unrelated_table_keeps_plans_warm(session):
+    compiled = session.compile(SQL)
+    session.register("other", DataFrame({"x": np.array([1.0])}))
+    # The sales plan survives and keeps serving hits: its scanned tables'
+    # versions are unchanged, so the fingerprint revalidation passes.
+    assert session.plan_cache.stats()["size"] == 1
+    assert session.compile(SQL) is compiled
+    assert session.plan_cache.stats()["hits"] == 1
+
+
+def test_register_model_clears_cache(session):
+    session.compile(SQL)
+    assert session.plan_cache.stats()["size"] == 1
+    session.register_model("m", lambda args, num_rows: args[0])
+    assert session.plan_cache.stats()["size"] == 0
+
+
+def test_cached_plan_returns_correct_results_across_calls(session):
+    expected = {"region": ["eu", "us", "apac"], "total": [35.0, 25.0, 15.0]}
+    assert session.sql(SQL).to_dict() == expected
+    assert session.sql(SQL).to_dict() == expected
+    assert session.plan_cache.stats()["hits"] >= 1

@@ -1,0 +1,167 @@
+"""Unit tests for the elementwise kernel-fusion pass."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.tensor import GraphInterpreter, Profiler, onnxlike, ops, passes, trace
+
+
+def _run(graph, arrays, device=None):
+    tensors = [ops.tensor(a) for a in arrays]
+    return GraphInterpreter(graph).run(tensors, device=device)
+
+
+def _trace_and_reference(fn, arrays, device=None):
+    example = [ops.tensor(a) for a in arrays]
+    graph = trace(fn, example)
+    reference = [t.numpy()
+                 for t in GraphInterpreter(graph.clone()).run(example, device=device)]
+    return graph, reference
+
+
+def test_fuse_merges_elementwise_chain_into_one_node():
+    def fn(x):
+        return ops.mul(ops.add(ops.mul(x, 2.0), 1.0), ops.sub(x, 0.5))
+
+    graph, reference = _trace_and_reference(fn, [[1.0, 2.0, 3.0]])
+    passes.fuse_elementwise(graph)
+    assert [n.op for n in graph.nodes] == ["fused_kernel"]
+    assert graph.nodes[0].attrs["label"] == "mul+add+sub+mul"
+    np.testing.assert_allclose(_run(graph, [[1.0, 2.0, 3.0]])[0].numpy(), reference[0])
+
+
+def test_fused_graph_records_one_profiler_event_per_kernel():
+    def fn(x):
+        y = ops.add(ops.mul(x, 3.0), 1.0)
+        z = ops.sum_(y)                       # reduction breaks the chain
+        return ops.mul(ops.add(z, 1.0), 2.0)
+
+    graph, reference = _trace_and_reference(fn, [[1.0, 2.0]])
+    unfused_ops = len(graph.nodes)
+    passes.fuse_elementwise(graph)
+    with Profiler() as profile:
+        result = _run(graph, [[1.0, 2.0]])
+    np.testing.assert_allclose(result[0].numpy(), reference[0])
+    assert len(profile.events) == 3 < unfused_ops
+    assert [e.op for e in profile.events] == ["fused_kernel", "sum", "fused_kernel"]
+
+
+def test_fusion_exposes_intermediates_used_outside_the_group():
+    def fn(x):
+        a = ops.mul(x, 2.0)
+        b = ops.add(a, 1.0)
+        return ops.sum_(b), a                 # `a` escapes the fused group
+
+    graph, reference = _trace_and_reference(fn, [[1.0, 4.0]])
+    passes.fuse_elementwise(graph)
+    fused = [n for n in graph.nodes if n.op == "fused_kernel"]
+    assert len(fused) == 1 and len(fused[0].outputs) == 2
+    out = _run(graph, [[1.0, 4.0]])
+    np.testing.assert_allclose(out[0].numpy(), reference[0])
+    np.testing.assert_allclose(out[1].numpy(), reference[1])
+
+
+def test_fusion_covers_cmp_where_cast_clip():
+    def fn(x):
+        kept = ops.where(ops.gt(x, 1.0), x, ops.mul(x, -1.0))
+        return ops.cast(ops.clip(kept, 0.0, 2.5), "float32")
+
+    arrays = [[-3.0, 0.5, 2.0, 9.0]]
+    graph, reference = _trace_and_reference(fn, arrays)
+    passes.fuse_elementwise(graph)
+    assert [n.op for n in graph.nodes] == ["fused_kernel"]
+    result = _run(graph, arrays)[0]
+    np.testing.assert_allclose(result.numpy(), reference[0])
+    assert result.numpy().dtype == np.float32
+
+
+def test_non_elementwise_and_impure_ops_break_the_chain():
+    def fn(x):
+        a = ops.add(x, 1.0)
+        b = ops.to_device(a, "cuda")          # impure: never fused
+        c = ops.mul(b, 2.0)
+        d = ops.argsort(c)                    # not elementwise
+        return ops.take(c, d)
+
+    graph, _ = _trace_and_reference(fn, [[3.0, 1.0, 2.0]], device="cuda")
+    passes.fuse_elementwise(graph)
+    assert all(n.op != "fused_kernel" for n in graph.nodes)  # no run of length 2
+
+
+def test_single_elementwise_node_is_left_unfused():
+    graph, _ = _trace_and_reference(lambda x: ops.add(x, 1.0), [[1.0]])
+    passes.fuse_elementwise(graph)
+    assert [n.op for n in graph.nodes] == ["add"]
+
+
+def test_fuse_is_idempotent():
+    def fn(x):
+        return ops.add(ops.mul(x, 2.0), 1.0)
+
+    graph, reference = _trace_and_reference(fn, [[2.0]])
+    passes.fuse_elementwise(graph)
+    once = [n.op for n in graph.nodes]
+    passes.fuse_elementwise(graph)
+    assert [n.op for n in graph.nodes] == once == ["fused_kernel"]
+    np.testing.assert_allclose(_run(graph, [[2.0]])[0].numpy(), reference[0])
+
+
+def test_default_passes_fuse_and_validate():
+    def fn(x):
+        return ops.mul(ops.add(x, 1.0), ops.add(x, 1.0))  # CSE then fuse
+
+    graph, reference = _trace_and_reference(fn, [[1.0, 2.0]])
+    optimized = passes.optimize(graph)
+    assert [n.op for n in optimized.nodes] == ["fused_kernel"]
+    np.testing.assert_allclose(_run(optimized, [[1.0, 2.0]])[0].numpy(), reference[0])
+
+
+def test_fused_graph_roundtrips_through_onnxlike():
+    def fn(x):
+        return ops.add(ops.mul(x, 2.0), ops.where(ops.lt(x, 0.0), 0.0, x))
+
+    graph, reference = _trace_and_reference(fn, [[-1.0, 1.0]])
+    optimized = passes.optimize(graph)
+    restored = onnxlike.loads(onnxlike.dumps(optimized))
+    assert restored.op_counts() == optimized.op_counts()
+    np.testing.assert_allclose(_run(restored, [[-1.0, 1.0]])[0].numpy(), reference[0])
+
+
+def test_onnxlike_rejects_malformed_fused_node():
+    def fn(x):
+        return ops.add(ops.mul(x, 2.0), 1.0)
+
+    graph, _ = _trace_and_reference(fn, [[1.0]])
+    passes.fuse_elementwise(graph)
+    node = graph.nodes[0]
+    node.attrs["steps"][0]["inputs"] = [99]   # undefined local slot
+    with pytest.raises(GraphError):
+        onnxlike.dumps(graph)
+    del node.attrs["steps"][0]["inputs"]      # missing inputs entirely
+    with pytest.raises(GraphError):
+        onnxlike.dumps(graph)
+
+
+def test_interpreter_skips_noop_device_moves():
+    def fn(x):
+        return ops.mul(ops.to_device(x, "cuda"), 2.0)
+
+    graph, _ = _trace_and_reference(fn, [[1.0, 2.0]], device="cuda")
+    with Profiler() as profile:
+        # Inputs are moved to cuda by the interpreter; the traced to_device
+        # node then sees an already-on-device tensor and must not re-dispatch.
+        result = _run(graph, [[1.0, 2.0]], device="cuda")
+    np.testing.assert_allclose(result[0].numpy(), [2.0, 4.0])
+    assert [e.op for e in profile.events].count("to_device") == 1
+
+
+def test_fusion_prunes_internal_value_metadata():
+    def fn(x):
+        return ops.add(ops.mul(x, 2.0), 1.0)
+
+    graph, _ = _trace_and_reference(fn, [[1.0]])
+    n_values_before = len(graph.values)
+    passes.fuse_elementwise(graph)
+    assert len(graph.values) < n_values_before
+    graph.validate()
