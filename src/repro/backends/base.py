@@ -22,6 +22,32 @@ from repro.tensor.profiler import Profiler
 #: Ops charged by cost models as host<->device transfers rather than kernels.
 TRANSFER_OPS = frozenset({"to_device"})
 
+#: Ops that mark the hand-off of one morsel to a worker lane.  They are
+#: zero-copy identities — cost models must ignore their pass-through byte
+#: counts and charge a fixed per-dispatch scheduling cost instead.
+DISPATCH_OPS = frozenset({"morsel_dispatch"})
+
+
+def split_parallel(events):
+    """Partition kernel events into the morsel-parallel execution structure.
+
+    Returns ``(serial_events, lanes, dispatch_events)`` where ``lanes`` maps a
+    worker-lane id to the events executed on that lane.  Events outside any
+    ``lane_scope`` are serial.  Morsel-parallel reported time charges the
+    *slowest lane* (lanes run concurrently) plus every serial event, plus a
+    per-dispatch scheduling cost — morsels are handed out one at a time by the
+    scheduler, so dispatch is the part of a parallel region that never scales.
+    """
+    serial, lanes, dispatches = [], {}, []
+    for event in events:
+        if event.op in DISPATCH_OPS:
+            dispatches.append(event)
+        elif event.lane is None:
+            serial.append(event)
+        else:
+            lanes.setdefault(event.lane, []).append(event)
+    return serial, lanes, dispatches
+
 
 @dataclasses.dataclass(frozen=True)
 class BackendSpec:

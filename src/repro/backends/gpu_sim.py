@@ -28,7 +28,7 @@ execution does not help tiny queries.
 
 from __future__ import annotations
 
-from repro.backends.base import TRANSFER_OPS, DeviceCostModel
+from repro.backends.base import TRANSFER_OPS, DeviceCostModel, split_parallel
 from repro.tensor.profiler import Profiler
 
 
@@ -44,6 +44,7 @@ class SimulatedGPU(DeviceCostModel):
         kernel_launch_overhead_s: float = 5e-6,
         compute_speedup: float = 12.0,
         pcie_latency_s: float = 3e-6,
+        morsel_dispatch_overhead_s: float = 4e-6,
     ):
         self.hbm_bandwidth_gbs = hbm_bandwidth_gbs
         self.pcie_bandwidth_gbs = pcie_bandwidth_gbs
@@ -53,6 +54,10 @@ class SimulatedGPU(DeviceCostModel):
         self.compute_speedup = compute_speedup
         #: Fixed driver/DMA-setup latency charged per host<->device copy.
         self.pcie_latency_s = pcie_latency_s
+        #: Stream/scheduling cost charged per morsel handed to a worker lane
+        #: (the GPU analogue is launching the morsel's kernels on a side
+        #: stream).  Dispatch is serial — it caps morsel-parallel speedup.
+        self.morsel_dispatch_overhead_s = morsel_dispatch_overhead_s
 
     @property
     def min_report_s(self) -> float:
@@ -69,9 +74,19 @@ class SimulatedGPU(DeviceCostModel):
         hbm_bps = self.hbm_bandwidth_gbs * 1e9
         pcie_bps = self.pcie_bandwidth_gbs * 1e9
         transfers, kernels = profile.partition(TRANSFER_OPS)
-        compute_s = sum(
-            max(self.kernel_launch_overhead_s, event.total_bytes / hbm_bps)
-            for event in kernels
+        serial_kernels, lanes, dispatches = split_parallel(kernels)
+
+        def kernel_cost(event) -> float:
+            return max(self.kernel_launch_overhead_s, event.total_bytes / hbm_bps)
+
+        # Worker lanes run concurrently: the parallel region costs its slowest
+        # lane.  Per-morsel dispatch stays serial (one scheduler), which is
+        # what bends the speedup curve at high worker counts.
+        compute_s = (
+            sum(kernel_cost(event) for event in serial_kernels)
+            + max((sum(kernel_cost(event) for event in lane_events)
+                   for lane_events in lanes.values()), default=0.0)
+            + len(dispatches) * self.morsel_dispatch_overhead_s
         )
         # A to_device event's payload is its output tensor; input/output byte
         # totals would charge the same copy twice.
@@ -93,4 +108,5 @@ class SimulatedGPU(DeviceCostModel):
             "pcie_bandwidth_gbs": self.pcie_bandwidth_gbs,
             "kernel_launch_overhead_s": self.kernel_launch_overhead_s,
             "pcie_latency_s": self.pcie_latency_s,
+            "morsel_dispatch_overhead_s": self.morsel_dispatch_overhead_s,
         }

@@ -10,7 +10,7 @@ represents WASM code generation quality and the weaker client machine.
 
 from __future__ import annotations
 
-from repro.backends.base import TRANSFER_OPS, DeviceCostModel
+from repro.backends.base import TRANSFER_OPS, DeviceCostModel, split_parallel
 from repro.tensor.profiler import Profiler
 
 
@@ -19,11 +19,17 @@ class SimulatedWASM(DeviceCostModel):
 
     name = "wasm (simulated)"
 
-    def __init__(self, slowdown: float = 6.0, per_op_overhead_s: float = 30e-6):
+    def __init__(self, slowdown: float = 6.0, per_op_overhead_s: float = 30e-6,
+                 morsel_dispatch_overhead_s: float = 20e-6):
         #: Multiplier over native CPU time (WASM SIMD-less kernels + laptop CPU).
         self.slowdown = slowdown
         #: JS/WASM boundary crossing cost charged per executed op.
         self.per_op_overhead_s = per_op_overhead_s
+        #: ``postMessage``-style cost charged per morsel handed to a Web
+        #: Worker — on top of the boundary crossing the dispatch op pays like
+        #: every other event, and deliberately steep: browsers make fine-
+        #: grained task parallelism expensive.
+        self.morsel_dispatch_overhead_s = morsel_dispatch_overhead_s
 
     def report_time(self, measured_s: float, profile: Profiler | None,
                     interpreter_overhead_s: float = 0.0) -> float:
@@ -39,14 +45,28 @@ class SimulatedWASM(DeviceCostModel):
         ``to_device`` transfer events) happen before its dispatch loop.  Each
         profiler event still pays the boundary cost once, so fused
         elementwise chains pay it once per fused kernel.
+
+        Morsel-parallel plans model Web-Worker execution: the measured time of
+        worker-lane kernels is replaced by the slowest lane's share before the
+        slowdown is applied, and every morsel dispatch pays a ``postMessage``
+        charge on top of its boundary crossing.
         """
         if profile is None:
             return measured_s * self.slowdown
         n_boundary_crossings = len(profile.events)
         _, kernels = profile.partition(TRANSFER_OPS)
         kernel_s = max(0.0, measured_s - len(kernels) * interpreter_overhead_s)
+        _, lanes, dispatches = split_parallel(kernels)
+        if lanes:
+            laned_total_s = sum(event.elapsed_s
+                                for lane_events in lanes.values()
+                                for event in lane_events)
+            slowest_lane_s = max(sum(event.elapsed_s for event in lane_events)
+                                 for lane_events in lanes.values())
+            kernel_s = max(0.0, kernel_s - laned_total_s + slowest_lane_s)
         return (kernel_s * self.slowdown
-                + n_boundary_crossings * self.per_op_overhead_s)
+                + n_boundary_crossings * self.per_op_overhead_s
+                + len(dispatches) * self.morsel_dispatch_overhead_s)
 
     def describe(self) -> dict:
         return {
@@ -54,4 +74,5 @@ class SimulatedWASM(DeviceCostModel):
             "simulated": True,
             "slowdown": self.slowdown,
             "per_op_overhead_s": self.per_op_overhead_s,
+            "morsel_dispatch_overhead_s": self.morsel_dispatch_overhead_s,
         }

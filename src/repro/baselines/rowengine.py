@@ -62,7 +62,7 @@ class RowExpressionEvaluator:
                     return self.evaluate(result, row)
             if expr.else_value is not None:
                 return self.evaluate(expr.else_value, row)
-            return 0
+            return None  # SQL: CASE with no matching branch is NULL
         if isinstance(expr, ast.Cast):
             value = self.evaluate(expr.operand, row)
             if value is None:
@@ -179,6 +179,8 @@ class RowExpressionEvaluator:
             return math.sqrt(args[0])
         if name == "length":
             return len(args[0])
+        if name == "coalesce":
+            return next((arg for arg in args if arg is not None), None)
         raise UnsupportedOperationError(f"row engine: unsupported function {name!r}")
 
 
@@ -223,7 +225,12 @@ class RowEngine:
                             dtype=np.float64)
         if ltype == LogicalType.BOOL:
             return np.array([bool(v) for v in values], dtype=bool)
-        return np.array([0 if v is None else int(v) for v in values], dtype=np.int64)
+        if any(v is None for v in values):
+            # NULL-able integers keep their NULLs (matching the tensor
+            # engine's validity-masked columns) instead of collapsing to 0.
+            return np.array([None if v is None else int(v) for v in values],
+                            dtype=object)
+        return np.array([int(v) for v in values], dtype=np.int64)
 
     # -- subquery support --------------------------------------------------------
 

@@ -63,12 +63,22 @@ class BenchResult:
 
 def time_tqp(session: TQPSession, sql: str, backend: str = "torchscript",
              device: str = "cpu", runs: int = 5, warmup: int = 2,
-             profile: bool = False, use_cache: bool = True) -> BenchResult:
-    """Compile ``sql`` once and measure ``runs`` executions after ``warmup``."""
+             profile: bool = False, use_cache: bool = True,
+             parallelism: Optional[int] = None) -> BenchResult:
+    """Compile ``sql`` once and measure ``runs`` executions after ``warmup``.
+
+    Passing ``parallelism`` (any value, including 1) forces profiling on so
+    the device cost models see the per-worker-lane timelines — and so every
+    point of a scaling curve reports on the same basis (the CPU device reports
+    kernel time for profiled runs, wall time otherwise; mixing the two would
+    make speedups incomparable).
+    """
+    if parallelism is not None:
+        profile = True
     hits_before = session.plan_cache.hits
     compile_start = time.perf_counter()
     query = session.compile(sql, backend=backend, device=device,
-                            use_cache=use_cache)
+                            use_cache=use_cache, parallelism=parallelism)
     compile_s = time.perf_counter() - compile_start
     inputs = session.prepare_inputs(query.executor)
     for _ in range(warmup):

@@ -97,6 +97,27 @@ def date_literal_to_ns(text: str) -> int:
     return int(np.datetime64(text, "ns").astype(np.int64))
 
 
+# -- morsels -------------------------------------------------------------------
+
+#: Rows per morsel for the morsel-driven parallel operators.  Chosen so one
+#: morsel of a typical TPC-H lineitem projection (~6 columns × 8 bytes) stays
+#: around L2-cache size, the classic morsel-driven-execution sizing rule.
+DEFAULT_MORSEL_ROWS = 2048
+
+
+def morsel_bounds(num_rows: int, morsel_rows: int = DEFAULT_MORSEL_ROWS
+                  ) -> list[tuple[int, int]]:
+    """Fixed-size ``(start, length)`` partitioning of ``num_rows`` rows.
+
+    Every morsel has exactly ``morsel_rows`` rows except the last, which takes
+    the remainder.  An empty input yields no morsels.
+    """
+    if morsel_rows < 1:
+        raise ExecutionError("morsel_rows must be >= 1")
+    return [(start, min(morsel_rows, num_rows - start))
+            for start in range(0, num_rows, morsel_rows)]
+
+
 # -- columns -------------------------------------------------------------------
 
 
@@ -166,6 +187,13 @@ class TensorColumn:
         kept = ops.boolean_mask(self.tensor, mask)
         valid = ops.boolean_mask(self.valid, mask) if self.valid is not None else None
         return TensorColumn(kept, self.ltype, valid)
+
+    def slice(self, start: int, length: int) -> "TensorColumn":
+        """A contiguous row range (zero-copy view via ``narrow``)."""
+        data = ops.narrow(self.tensor, 0, start, length)
+        valid = (ops.narrow(self.valid, 0, start, length)
+                 if self.valid is not None else None)
+        return TensorColumn(data, self.ltype, valid)
 
     def to(self, device: Device | str) -> "TensorColumn":
         valid = self.valid.to(device) if self.valid is not None else None
@@ -276,6 +304,17 @@ class TensorTable:
     def mask(self, mask: Tensor) -> "TensorTable":
         return TensorTable({name: col.mask(mask)
                             for name, col in self._columns.items()})
+
+    def slice(self, start: int, length: int) -> "TensorTable":
+        """A contiguous row range of every column (zero-copy views)."""
+        return TensorTable({name: col.slice(start, length)
+                            for name, col in self._columns.items()})
+
+    def morsels(self, morsel_rows: int = DEFAULT_MORSEL_ROWS
+                ) -> Iterable["TensorTable"]:
+        """Partition the table into fixed-size row morsels (last one short)."""
+        for start, length in morsel_bounds(self.num_rows, morsel_rows):
+            yield self.slice(start, length)
 
     def to(self, device: Device | str) -> "TensorTable":
         return TensorTable({name: col.to(device)

@@ -27,7 +27,7 @@ from repro.core.expressions import EvaluationContext
 from repro.core.operators import ExecutionContext, ScanOperator
 from repro.core.planner import OperatorPlan
 from repro.dataframe import DataFrame
-from repro.errors import ExecutionError
+from repro.errors import CatalogError, ExecutionError
 from repro.tensor import Graph, Profiler, ScriptedProgram, Tensor, onnxlike, passes, tracing
 from repro.tensor.device import Device, parse_device
 
@@ -52,11 +52,16 @@ class Executor:
 
     def __init__(self, plan: OperatorPlan, backend: BackendSpec | str = "pytorch",
                  device: Device | str = "cpu",
-                 models: Optional[dict[str, Callable]] = None):
+                 models: Optional[dict[str, Callable]] = None,
+                 parallelism: int = 1):
         self.plan = plan
         self.backend = get_backend(backend) if isinstance(backend, str) else backend
         self.device = parse_device(device)
         self.models = models or {}
+        #: Worker lanes available to the plan's morsel-driven operators.  The
+        #: plan itself already embeds the parallel operator choice; the knob is
+        #: threaded here so results/profiles can report the worker count.
+        self.parallelism = max(1, int(parallelism))
         self.cost_model = get_device_model(self.device)
         #: Number of trace-compilations performed; the plan-cache benchmarks
         #: read this to prove cache hits skip the trace entirely.
@@ -78,15 +83,32 @@ class Executor:
         Only the columns each scan actually needs are converted (strings and
         dates require an encoding pass; numeric columns are zero-copy).
         The result is keyed by scan alias with fully qualified column names.
+
+        Every table the plan references is validated up front (matched
+        case-insensitively, like the session catalog); missing tables or
+        columns raise :class:`repro.errors.CatalogError` /
+        :class:`repro.errors.ExecutionError` naming what is absent, never a
+        bare ``KeyError``.
         """
+        by_key = {name.lower(): frame for name, frame in dataframes.items()}
+        missing = sorted({scan.table for scan in self.plan.scans
+                          if scan.table.lower() not in by_key})
+        if missing:
+            raise CatalogError(
+                "plan references unregistered table(s): "
+                + ", ".join(repr(name) for name in missing)
+            )
         inputs: dict[str, TensorTable] = {}
         for scan in self.plan.scans:
-            if scan.table not in dataframes:
-                raise ExecutionError(f"no registered table named {scan.table!r}")
-            frame = dataframes[scan.table]
+            frame = by_key[scan.table.lower()]
             columns = {}
             for field in scan.fields:
                 base = field.name.split(".", 1)[1] if "." in field.name else field.name
+                if base not in frame:
+                    raise ExecutionError(
+                        f"table {scan.table!r} has no column {base!r} "
+                        f"(required by scan {scan.alias!r})"
+                    )
                 columns[field.name] = TensorColumn.from_numpy(frame[base])
             inputs[scan.alias] = TensorTable(columns)
         return inputs
@@ -131,7 +153,8 @@ class Executor:
 
     def _execution_context(self, inputs: dict[str, TensorTable]) -> ExecutionContext:
         moved = {alias: table.to(self.device) for alias, table in inputs.items()}
-        ctx = ExecutionContext(moved, device=self.device)
+        ctx = ExecutionContext(moved, device=self.device,
+                               parallelism=self.parallelism)
         ctx.eval_ctx = EvaluationContext(
             device=self.device,
             subquery_runner=lambda subplan: subplan.execute(ctx),

@@ -334,19 +334,38 @@ def _evaluate_case(expr: ast.CaseWhen, table: TensorTable,
     if expr.else_value is not None:
         result_value = evaluate(expr.else_value, table, ctx)
         result = result_value.tensor
+        valid: Optional[Tensor] = result_value.valid
     else:
+        # SQL: a CASE where no branch matches is NULL.  The placeholder value
+        # is 0 with an all-false validity mask.
         dtype = _LTYPE_TO_DTYPE.get(otype, "float64")
         result = ops.tensor(0, dtype=dtype, device=ctx.device)
+        valid = ops.tensor(False, dtype="bool", device=ctx.device)
     # Apply WHEN branches from last to first so earlier branches win.
     any_scalar = True
     for condition, value in reversed(expr.whens):
         cond_value = evaluate(condition, table, ctx)
         branch_value = evaluate(value, table, ctx)
-        result = ops.where(cond_value.tensor, branch_value.tensor, result)
+        cond = cond_value.tensor
+        if cond_value.valid is not None:
+            # A NULL condition selects the branch below, never this one.
+            cond = ops.logical_and(cond, cond_value.valid)
+        result = ops.where(cond, branch_value.tensor, result)
+        if valid is not None or branch_value.valid is not None:
+            branch_valid = (branch_value.valid if branch_value.valid is not None
+                            else ops.tensor(True, dtype="bool", device=ctx.device))
+            below_valid = (valid if valid is not None
+                           else ops.tensor(True, dtype="bool", device=ctx.device))
+            valid = ops.where(cond, branch_valid, below_valid)
         any_scalar = any_scalar and cond_value.is_scalar and branch_value.is_scalar
     if otype == LogicalType.FLOAT:
         result = ops.cast(result, "float64")
-    return ExprValue(result, otype, any_scalar)
+    if valid is not None and not any_scalar and valid.ndim == 0:
+        valid = ops.logical_and(
+            ops.full((table.num_rows,), True, dtype="bool", device=ctx.device),
+            valid,
+        )
+    return ExprValue(result, otype, any_scalar, valid)
 
 
 def _evaluate_cast(expr: ast.Cast, table: TensorTable,
@@ -437,7 +456,55 @@ def _evaluate_scalar_function(expr: ast.FuncCall, table: TensorTable,
     if name == "length":
         return ExprValue(strings.row_lengths(args[0].tensor), LogicalType.INT,
                          args[0].is_scalar, args[0].valid)
+    if name == "coalesce":
+        return _evaluate_coalesce(args, table.num_rows)
     raise UnsupportedOperationError(f"unsupported function {expr.name!r}")
+
+
+def _evaluate_coalesce(args: list[ExprValue], num_rows: int) -> ExprValue:
+    """COALESCE: per row, the first non-NULL argument (tensorized as a chain
+    of validity-masked ``where`` selects)."""
+    if not args:
+        raise ExecutionError("coalesce() requires at least one argument")
+    # Resolve the promoted result type up front (matching the analyzer's
+    # declared type) so an early short-circuit cannot return an INT column
+    # where the compiled schema promised FLOAT.
+    arg_types = {value.ltype for value in args}
+    if len(arg_types) == 1:
+        ltype = args[0].ltype
+    elif arg_types == {LogicalType.INT, LogicalType.FLOAT}:
+        ltype = LogicalType.FLOAT
+    else:
+        raise ExecutionError(
+            "coalesce() argument types do not match: "
+            + ", ".join(sorted(t.value for t in arg_types))
+        )
+
+    def materialize(value: ExprValue) -> TensorColumn:
+        column = to_column(value, num_rows)
+        if column.ltype != ltype:
+            return TensorColumn(ops.cast(column.tensor, "float64"), ltype,
+                                column.valid)
+        return column
+
+    column = materialize(args[0])
+    for value in args[1:]:
+        if column.valid is None:
+            break  # already never NULL; later arguments are unreachable
+        nxt = materialize(value)
+        if ltype == LogicalType.STRING:
+            width = max(column.tensor.shape[1], nxt.tensor.shape[1])
+            left_data = ops.pad2d(column.tensor, width)
+            right_data = ops.pad2d(nxt.tensor, width)
+            cond = ops.reshape(column.valid, (num_rows, 1))
+        else:
+            left_data, right_data = column.tensor, nxt.tensor
+            cond = column.valid
+        data = ops.where(cond, left_data, right_data)
+        valid = (None if nxt.valid is None
+                 else ops.logical_or(column.valid, nxt.valid))
+        column = TensorColumn(data, ltype, valid)
+    return ExprValue(column.tensor, column.ltype, False, column.valid)
 
 
 def _require_int_literal(expr: ast.Expr, what: str) -> int:

@@ -10,23 +10,47 @@ from repro.core.operators.join import (
     merge_tables,
 )
 from repro.core.operators.misc import DistinctOperator, LimitOperator, RenameOperator
+from repro.core.operators.parallel import (
+    PARALLEL_THRESHOLD_ROWS,
+    MorselFilterOperator,
+    MorselProjectOperator,
+    MorselScanOperator,
+    MorselSource,
+    MorselWorkerPool,
+    ParallelHashAggregateOperator,
+    PartitionedHashJoinOperator,
+    aggregates_are_mergeable,
+    concat_morsels,
+    exprs_are_morsel_safe,
+)
 from repro.core.operators.project import ProjectOperator
 from repro.core.operators.scan import ScanOperator
 from repro.core.operators.sort import SortOperator
 
 __all__ = [
+    "PARALLEL_THRESHOLD_ROWS",
     "DistinctOperator",
     "ExecutionContext",
     "FilterOperator",
     "HashAggregateOperator",
     "HashJoinOperator",
     "LimitOperator",
+    "MorselFilterOperator",
+    "MorselProjectOperator",
+    "MorselScanOperator",
+    "MorselSource",
+    "MorselWorkerPool",
     "NestedLoopJoinOperator",
+    "ParallelHashAggregateOperator",
+    "PartitionedHashJoinOperator",
     "ProjectOperator",
     "RenameOperator",
     "ScanOperator",
     "SortOperator",
     "TensorOperator",
+    "aggregates_are_mergeable",
+    "concat_morsels",
     "concat_tables",
+    "exprs_are_morsel_safe",
     "merge_tables",
 ]

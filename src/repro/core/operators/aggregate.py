@@ -9,6 +9,8 @@ SQL aggregation on tensor runtimes.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.columnar import LogicalType, TensorColumn, TensorTable
 from repro.core.expressions import evaluate, to_column
 from repro.core.operators.base import ExecutionContext, TensorOperator
@@ -17,6 +19,22 @@ from repro.errors import ExecutionError, UnsupportedOperationError
 from repro.frontend.ast import Expr
 from repro.frontend.logical import AggregateCall
 from repro.tensor import Tensor, ops
+
+
+def masked_for_reduce(data: Tensor, valid: "Tensor | None", mode: str) -> Tensor:
+    """Replace NULL positions with the reduction's identity element so they
+    cannot win a ``scatter_min``/``scatter_max`` (SQL aggregates skip NULLs)."""
+    if valid is None:
+        return data
+    kind = data.dtype.name
+    if kind.startswith("float"):
+        sentinel = float("inf") if mode == "min" else float("-inf")
+    elif kind == "bool":
+        sentinel = mode == "min"
+    else:
+        info = np.iinfo(np.int64)
+        sentinel = info.max if mode == "min" else info.min
+    return ops.where(valid, data, sentinel)
 
 
 class HashAggregateOperator(TensorOperator):
@@ -77,15 +95,22 @@ class HashAggregateOperator(TensorOperator):
                 "sum/avg/min/max over string columns are not supported"
             )
 
-        # SQL returns NULL for sum/avg/min/max over an empty input.  With group
-        # keys every group contains at least one row, so the validity mask is
-        # only needed for the global (ungrouped) aggregate case.
-        valid = None
-        if not self.group_exprs:
+        # SQL aggregates skip NULL inputs and return NULL when nothing
+        # contributed: count per group how many non-NULL rows there are.  For
+        # non-nullable input the mask is only needed in the global case (a
+        # group always has >= 1 row, but an ungrouped input may be empty).
+        if column.valid is not None:
+            populated = ops.scatter_add(group_ids, ops.cast(column.valid, "int64"),
+                                        size=num_groups)
+        else:
             populated = ops.bincount(group_ids, minlength=num_groups)
+        valid = None
+        if column.valid is not None or not self.group_exprs:
             valid = ops.gt(populated, 0)
 
         if call.func == "sum":
+            if column.valid is not None:
+                data = ops.where(column.valid, data, 0)
             result = ops.scatter_add(group_ids, data, size=num_groups)
             if call.output_type == LogicalType.INT:
                 result = ops.cast(result, "int64")
@@ -94,19 +119,25 @@ class HashAggregateOperator(TensorOperator):
             return TensorColumn(result, call.output_type, valid)
 
         if call.func == "avg":
-            totals = ops.cast(ops.scatter_add(group_ids, ops.cast(data, "float64"),
-                                              size=num_groups), "float64")
-            counts = ops.bincount(group_ids, minlength=num_groups)
-            return TensorColumn(ops.div(totals, ops.cast(ops.maximum(counts, 1),
+            addend = ops.cast(data, "float64")
+            if column.valid is not None:
+                addend = ops.where(column.valid, addend, 0.0)
+            totals = ops.cast(ops.scatter_add(group_ids, addend, size=num_groups),
+                              "float64")
+            return TensorColumn(ops.div(totals, ops.cast(ops.maximum(populated, 1),
                                                          "float64")),
                                 LogicalType.FLOAT, valid)
 
         if call.func == "min":
-            result = ops.scatter_min(group_ids, data, size=num_groups)
+            result = ops.scatter_min(
+                group_ids, masked_for_reduce(data, column.valid, "min"),
+                size=num_groups)
             return TensorColumn(result, call.output_type, valid)
 
         if call.func == "max":
-            result = ops.scatter_max(group_ids, data, size=num_groups)
+            result = ops.scatter_max(
+                group_ids, masked_for_reduce(data, column.valid, "max"),
+                size=num_groups)
             return TensorColumn(result, call.output_type, valid)
 
         raise ExecutionError(f"unsupported aggregate function {call.func!r}")
@@ -131,6 +162,11 @@ class HashAggregateOperator(TensorOperator):
 
     def _execute(self, ctx: ExecutionContext) -> TensorTable:
         table = self.children[0].execute(ctx)
+        return self._aggregate_table(table, ctx)
+
+    def _aggregate_table(self, table: TensorTable, ctx: ExecutionContext
+                         ) -> TensorTable:
+        """Aggregate one materialized table (the single-stream path)."""
         num_rows = table.num_rows
 
         key_values = [evaluate(expr, table, ctx.eval_ctx) for expr in self.group_exprs]

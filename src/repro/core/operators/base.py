@@ -23,10 +23,12 @@ class ExecutionContext:
 
     def __init__(self, inputs: dict[str, TensorTable],
                  eval_ctx: Optional[EvaluationContext] = None,
-                 device: Device | str = "cpu"):
+                 device: Device | str = "cpu", parallelism: int = 1):
         self.inputs = inputs
         self.device = parse_device(device)
         self.eval_ctx = eval_ctx or EvaluationContext(device=self.device)
+        #: Worker lanes the executor granted to morsel-driven operators.
+        self.parallelism = max(1, int(parallelism))
 
     def input_table(self, alias: str) -> TensorTable:
         if alias not in self.inputs:

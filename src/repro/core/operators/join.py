@@ -105,25 +105,25 @@ class HashJoinOperator(TensorOperator):
         return (ops.narrow(combined, 0, 0, n_left),
                 ops.narrow(combined, 0, n_left, n_right))
 
-    # -- execution ------------------------------------------------------------
+    # -- matching -----------------------------------------------------------
 
-    def _execute(self, ctx: ExecutionContext) -> TensorTable:
-        left_table = self.children[0].execute(ctx)
-        right_table = self.children[1].execute(ctx)
-        n_left, n_right = left_table.num_rows, right_table.num_rows
+    def _match_pairs(self, left_ids: Tensor, right_ids: Tensor,
+                     need_pairs: bool
+                     ) -> tuple[Tensor, Optional[tuple[Tensor, Tensor]]]:
+        """Match densified keys: per-left-row match ``counts`` plus, when
+        ``need_pairs``, the flattened ``(pair_left, pair_right)`` row indices.
 
-        left_ids, right_ids = self._key_ids(left_table, right_table, ctx)
-
+        The partitioned parallel variant overrides this with a radix-partition
+        build/probe; everything downstream (:meth:`_finish`) is shared.
+        """
+        n_left = left_ids.shape[0]
         order = ops.argsort(right_ids)
         sorted_right = ops.take(right_ids, order)
         start = ops.searchsorted(sorted_right, left_ids, side="left")
         end = ops.searchsorted(sorted_right, left_ids, side="right")
         counts = ops.sub(end, start)
-
-        if self.kind in ("semi", "anti") and self.residual is None:
-            matched = ops.gt(counts, 0)
-            mask = matched if self.kind == "semi" else ops.logical_not(matched)
-            return left_table.mask(mask)
+        if not need_pairs:
+            return counts, None
 
         total = int(ops.sum_(counts).item())
         offsets = ops.sub(ops.cumsum(counts), counts)
@@ -133,7 +133,29 @@ class HashJoinOperator(TensorOperator):
                          ops.repeat(offsets, counts))
         pair_right_sorted = ops.add(ops.repeat(start, counts), within)
         pair_right = ops.take(order, pair_right_sorted)
+        return counts, (pair_left, pair_right)
 
+    # -- execution ------------------------------------------------------------
+
+    def _execute(self, ctx: ExecutionContext) -> TensorTable:
+        left_table = self.children[0].execute(ctx)
+        right_table = self.children[1].execute(ctx)
+        left_ids, right_ids = self._key_ids(left_table, right_table, ctx)
+        need_pairs = not (self.kind in ("semi", "anti") and self.residual is None)
+        counts, pairs = self._match_pairs(left_ids, right_ids, need_pairs)
+        return self._finish(left_table, right_table, counts, pairs, ctx)
+
+    def _finish(self, left_table: TensorTable, right_table: TensorTable,
+                counts: Tensor, pairs: Optional[tuple[Tensor, Tensor]],
+                ctx: ExecutionContext) -> TensorTable:
+        n_left = left_table.num_rows
+
+        if pairs is None:  # semi/anti without residual: counts are enough
+            matched = ops.gt(counts, 0)
+            mask = matched if self.kind == "semi" else ops.logical_not(matched)
+            return left_table.mask(mask)
+
+        pair_left, pair_right = pairs
         matched_left = left_table.gather(pair_left)
         matched_right = right_table.gather(pair_right)
         combined = merge_tables(matched_left, matched_right)
@@ -163,7 +185,7 @@ class HashJoinOperator(TensorOperator):
                                             device=pair_left.device),
                                    size=n_left)
         else:
-            hits = ops.zeros((n_left,), dtype="int64", device=left_ids.device)
+            hits = ops.zeros((n_left,), dtype="int64", device=left_table.device)
         unmatched = ops.eq(hits, 0)
         left_unmatched = left_table.mask(unmatched)
         null_right = TensorTable({

@@ -6,7 +6,7 @@ replaying the compiled artifact.  Under repeated-query traffic — the regime
 the ROADMAP targets — a session therefore keeps an LRU cache of
 :class:`~repro.core.session.CompiledQuery` objects keyed by
 
-``(normalized SQL, backend, device, optimize flag)``
+``(normalized SQL, backend, device, optimize flag, parallelism)``
 
 Staleness is handled per entry rather than in the key: each cached plan
 carries the schema fingerprint — ``(table, version)`` pairs — of the tables

@@ -1,22 +1,39 @@
-"""Planning layer: TQP IR → operator plan of tensor programs (paper §2.2, layer 3)."""
+"""Planning layer: TQP IR → operator plan of tensor programs (paper §2.2, layer 3).
+
+With ``parallelism > 1`` the planner substitutes morsel-driven parallel
+operator variants (see :mod:`repro.core.operators.parallel`) wherever the
+estimated input cardinality clears :data:`PARALLEL_THRESHOLD_ROWS` and the
+operator's expressions are morsel-safe; everything else keeps the serial
+single-stream implementation.
+"""
 
 from __future__ import annotations
 
 import dataclasses
+from typing import Mapping, Optional
 
 from repro.core import ir
+from repro.core.columnar import DEFAULT_MORSEL_ROWS
 from repro.core.operators import (
+    PARALLEL_THRESHOLD_ROWS,
     DistinctOperator,
     FilterOperator,
     HashAggregateOperator,
     HashJoinOperator,
     LimitOperator,
+    MorselFilterOperator,
+    MorselProjectOperator,
+    MorselScanOperator,
     NestedLoopJoinOperator,
+    ParallelHashAggregateOperator,
+    PartitionedHashJoinOperator,
     ProjectOperator,
     RenameOperator,
     ScanOperator,
     SortOperator,
     TensorOperator,
+    aggregates_are_mergeable,
+    exprs_are_morsel_safe,
 )
 from repro.errors import PlanningError
 from repro.frontend import ast
@@ -63,14 +80,54 @@ def ir_node_expressions(node: ir.IRNode) -> list[ast.Expr]:
 
 
 class Planner:
-    """Maps each IR operator to its tensor-program implementation."""
+    """Maps each IR operator to its tensor-program implementation.
 
-    def __init__(self) -> None:
+    Args:
+        parallelism: number of simulated worker lanes; 1 plans serial
+            operators only (the default, and the pre-parallelism behaviour).
+        table_rows: registered row counts per table name, the cardinality
+            estimates behind the parallel-operator threshold decision.
+        morsel_rows: rows per morsel for the parallel operators.
+        use_threads: let worker pools use real threads when it is safe.
+    """
+
+    def __init__(self, parallelism: int = 1,
+                 table_rows: Optional[Mapping[str, int]] = None,
+                 morsel_rows: int = DEFAULT_MORSEL_ROWS,
+                 use_threads: bool = False) -> None:
         self._scans: list[ScanOperator] = []
+        self.parallelism = max(1, int(parallelism))
+        self.table_rows = {name.lower(): rows
+                           for name, rows in (table_rows or {}).items()}
+        self.morsel_rows = morsel_rows
+        self.use_threads = use_threads
+        self._row_estimates: dict[int, int] = {}
 
     def plan(self, root: ir.IRNode) -> OperatorPlan:
         operator_root = self._plan_node(root)
         return OperatorPlan(operator_root, self._scans, list(root.fields))
+
+    # -- cardinality estimation --------------------------------------------
+
+    def _estimate_rows(self, node: ir.IRNode) -> int:
+        """Upper-bound cardinality estimate: scans report registered row
+        counts; every other operator forwards the max over its children (no
+        selectivity modelling — the estimate only gates parallelism)."""
+        cached = self._row_estimates.get(id(node))
+        if cached is not None:
+            return cached
+        if node.op == ir.SCAN:
+            estimate = self.table_rows.get(node.attrs["table"].lower(), 0)
+        else:
+            estimate = max((self._estimate_rows(child) for child in node.children),
+                           default=0)
+        self._row_estimates[id(node)] = estimate
+        return estimate
+
+    def _parallel_ok(self, *input_nodes: ir.IRNode) -> bool:
+        return (self.parallelism > 1
+                and max((self._estimate_rows(node) for node in input_nodes),
+                        default=0) >= PARALLEL_THRESHOLD_ROWS)
 
     # -- node translation --------------------------------------------------
 
@@ -79,15 +136,43 @@ class Planner:
         attrs = node.attrs
 
         if node.op == ir.SCAN:
-            scan = ScanOperator(attrs["table"], attrs["alias"], attrs["fields"])
+            if self._parallel_ok(node):
+                scan: ScanOperator = MorselScanOperator(
+                    attrs["table"], attrs["alias"], attrs["fields"],
+                    parallelism=self.parallelism, morsel_rows=self.morsel_rows)
+            else:
+                scan = ScanOperator(attrs["table"], attrs["alias"], attrs["fields"])
             self._scans.append(scan)
             return scan
         if node.op == ir.FILTER:
+            if (self._parallel_ok(node.children[0])
+                    and exprs_are_morsel_safe([attrs["condition"]])):
+                return MorselFilterOperator(
+                    self._plan_node(node.children[0]), attrs["condition"],
+                    parallelism=self.parallelism, morsel_rows=self.morsel_rows,
+                    use_threads=self.use_threads)
             return FilterOperator(self._plan_node(node.children[0]), attrs["condition"])
         if node.op == ir.PROJECT:
+            if (self._parallel_ok(node.children[0])
+                    and exprs_are_morsel_safe(attrs["exprs"])):
+                return MorselProjectOperator(
+                    self._plan_node(node.children[0]), attrs["exprs"],
+                    attrs["names"], attrs["types"],
+                    parallelism=self.parallelism, morsel_rows=self.morsel_rows,
+                    use_threads=self.use_threads)
             return ProjectOperator(self._plan_node(node.children[0]), attrs["exprs"],
                                    attrs["names"], attrs["types"])
         if node.op == ir.HASH_JOIN:
+            join_exprs = (list(attrs["left_keys"]) + list(attrs["right_keys"])
+                          + [attrs.get("residual")])
+            if (self._parallel_ok(node.children[0], node.children[1])
+                    and exprs_are_morsel_safe(join_exprs)):
+                return PartitionedHashJoinOperator(
+                    self._plan_node(node.children[0]),
+                    self._plan_node(node.children[1]),
+                    attrs["kind"], attrs["left_keys"], attrs["right_keys"],
+                    attrs.get("residual"), parallelism=self.parallelism,
+                    use_threads=self.use_threads)
             return HashJoinOperator(self._plan_node(node.children[0]),
                                     self._plan_node(node.children[1]),
                                     attrs["kind"], attrs["left_keys"],
@@ -97,6 +182,17 @@ class Planner:
                                           self._plan_node(node.children[1]),
                                           attrs["kind"], attrs.get("condition"))
         if node.op == ir.HASH_AGGREGATE:
+            agg_exprs = (list(attrs["group_exprs"])
+                         + [a.expr for a in attrs["aggregates"] if a.expr is not None])
+            if (self._parallel_ok(node.children[0])
+                    and aggregates_are_mergeable(attrs["aggregates"])
+                    and exprs_are_morsel_safe(agg_exprs)):
+                return ParallelHashAggregateOperator(
+                    self._plan_node(node.children[0]),
+                    attrs["group_exprs"], attrs["group_names"],
+                    attrs["group_types"], attrs["aggregates"],
+                    parallelism=self.parallelism, morsel_rows=self.morsel_rows,
+                    use_threads=self.use_threads)
             return HashAggregateOperator(self._plan_node(node.children[0]),
                                          attrs["group_exprs"], attrs["group_names"],
                                          attrs["group_types"], attrs["aggregates"])
@@ -133,6 +229,10 @@ class Planner:
                         sub.subplan = self._plan_node(sub_ir)
 
 
-def plan_ir(root: ir.IRNode) -> OperatorPlan:
+def plan_ir(root: ir.IRNode, parallelism: int = 1,
+            table_rows: Optional[Mapping[str, int]] = None,
+            morsel_rows: int = DEFAULT_MORSEL_ROWS,
+            use_threads: bool = False) -> OperatorPlan:
     """Convenience wrapper: plan an IR tree into an :class:`OperatorPlan`."""
-    return Planner().plan(root)
+    return Planner(parallelism=parallelism, table_rows=table_rows,
+                   morsel_rows=morsel_rows, use_threads=use_threads).plan(root)

@@ -84,11 +84,22 @@ class TQPSession:
 
     def __init__(self, default_backend: str = "pytorch",
                  default_device: Device | str = "cpu",
-                 plan_cache_size: int = 64):
+                 plan_cache_size: int = 64,
+                 default_parallelism: int = 1,
+                 parallel_mode: str = "simulated"):
         if default_backend not in BACKENDS:
             raise ExecutionError(f"unknown backend {default_backend!r}")
+        if parallel_mode not in ("simulated", "threads"):
+            raise ExecutionError(f"unknown parallel mode {parallel_mode!r}")
+        if default_parallelism < 1:
+            raise ExecutionError("default_parallelism must be >= 1")
         self.default_backend = default_backend
         self.default_device = parse_device(default_device)
+        #: Worker lanes used when ``compile``/``sql`` get no ``parallelism``.
+        self.default_parallelism = default_parallelism
+        #: ``"simulated"`` (deterministic lane annotations, the default) or
+        #: ``"threads"`` (real thread pool for unprofiled eager execution).
+        self.parallel_mode = parallel_mode
         self.catalog = Catalog()
         self._dataframes: dict[str, DataFrame] = {}
         self._models: dict[str, Callable] = {}
@@ -159,7 +170,8 @@ class TQPSession:
 
     def compile(self, sql: str, backend: Optional[str] = None,
                 device: Device | str | None = None,
-                optimize: bool = True, use_cache: bool = True) -> CompiledQuery:
+                optimize: bool = True, use_cache: bool = True,
+                parallelism: Optional[int] = None) -> CompiledQuery:
         """Compile a SQL query down to an Executor.
 
         Args:
@@ -170,25 +182,37 @@ class TQPSession:
                 requires the ``onnx`` backend); defaults to the session's device.
             optimize: apply frontend optimizer rules (disable for ablations).
             use_cache: serve repeated queries from the session's compiled-plan
-                cache (keyed by normalized SQL, backend, device and optimize
-                flag; each entry's schema fingerprint is revalidated on hit).
-                A hit returns the *same* :class:`CompiledQuery`, so an
-                already-traced program is reused and parse→optimize→plan→trace
-                are all skipped.
+                cache (keyed by normalized SQL, backend, device, optimize
+                flag and parallelism; each entry's schema fingerprint is
+                revalidated on hit).  A hit returns the *same*
+                :class:`CompiledQuery`, so an already-traced program is reused
+                and parse→optimize→plan→trace are all skipped.
+            parallelism: worker lanes for the morsel-driven parallel operators
+                (defaults to the session's ``default_parallelism``).  With 1
+                the plan is fully serial; above 1 the planner parallelizes
+                every eligible operator whose estimated input cardinality
+                clears the morsel threshold.
         """
         backend = backend or self.default_backend
         device = parse_device(device) if device is not None else self.default_device
+        parallelism = (self.default_parallelism if parallelism is None
+                       else max(1, int(parallelism)))
         cache_key = None
         if use_cache:
-            cache_key = (normalize_sql(sql), backend, str(device), optimize)
+            cache_key = (normalize_sql(sql), backend, str(device), optimize,
+                         parallelism)
             cached = self.plan_cache.get(cache_key, validate=self._plan_is_current)
             if cached is not None:
                 return cached
         physical = sql_to_physical(sql, self.catalog, optimized=optimize)
         query_ir = ir_optimizer.optimize_ir(ir_builder.build_ir(physical))
-        operator_plan = plan_ir(query_ir)
+        operator_plan = plan_ir(
+            query_ir, parallelism=parallelism,
+            table_rows={name: frame.num_rows
+                        for name, frame in self._dataframes.items()},
+            use_threads=self.parallel_mode == "threads")
         executor = Executor(operator_plan, backend=backend, device=device,
-                            models=dict(self._models))
+                            models=dict(self._models), parallelism=parallelism)
         compiled = CompiledQuery(sql=sql, physical_plan=physical, ir=query_ir,
                                  operator_plan=operator_plan, executor=executor,
                                  session=self,
@@ -198,9 +222,11 @@ class TQPSession:
         return compiled
 
     def sql(self, sql: str, backend: Optional[str] = None,
-            device: Device | str | None = None) -> DataFrame:
+            device: Device | str | None = None,
+            parallelism: Optional[int] = None) -> DataFrame:
         """Compile and execute in one call, returning a DataFrame."""
-        return self.compile(sql, backend=backend, device=device).run()
+        return self.compile(sql, backend=backend, device=device,
+                            parallelism=parallelism).run()
 
     # -- input preparation (data conversion phase) ----------------------------------
 

@@ -437,7 +437,16 @@ class Analyzer:
             if expr.else_value is not None:
                 expr.else_value = self._resolve(expr.else_value, scope, cte_map,
                                                 allow_aggregates)
-            expr.otype = self._require_type(expr.whens[0][1])
+            # Standard SQL numeric promotion across branches: a CASE mixing
+            # INT and FLOAT results is FLOAT (typing it after the first THEN
+            # alone silently truncated float ELSE branches to int).
+            branch_types = {self._require_type(value) for _, value in expr.whens}
+            if expr.else_value is not None:
+                branch_types.add(self._require_type(expr.else_value))
+            if branch_types == {LogicalType.INT, LogicalType.FLOAT}:
+                expr.otype = LogicalType.FLOAT
+            else:
+                expr.otype = self._require_type(expr.whens[0][1])
             return expr
 
         if isinstance(expr, ast.Cast):
@@ -540,7 +549,14 @@ class Analyzer:
             return LogicalType.INT
         if name in ("floor", "ceil", "sqrt"):
             return LogicalType.FLOAT
-        if name in ("abs", "round", "coalesce"):
+        if name == "coalesce":
+            if not call.args:
+                return LogicalType.FLOAT
+            arg_types = {self._require_type(arg) for arg in call.args}
+            if arg_types == {LogicalType.INT, LogicalType.FLOAT}:
+                return LogicalType.FLOAT
+            return self._require_type(call.args[0])
+        if name in ("abs", "round"):
             return self._require_type(call.args[0]) if call.args else LogicalType.FLOAT
         raise AnalysisError(f"unknown function {call.name!r}")
 

@@ -23,7 +23,14 @@ from repro.tensor.dtype import (
 )
 from repro.tensor.graph import Graph, Node, Value
 from repro.tensor.interpreter import GraphInterpreter
-from repro.tensor.profiler import OpEvent, OpSummary, Profiler, current_profiler
+from repro.tensor.profiler import (
+    OpEvent,
+    OpSummary,
+    Profiler,
+    current_lane,
+    current_profiler,
+    lane_scope,
+)
 from repro.tensor.script import ScriptedProgram, script_trace
 from repro.tensor.tensor import Tensor, as_tensor
 from repro.tensor.tracing import TraceContext, current_trace, trace
@@ -49,8 +56,10 @@ __all__ = [
     "as_tensor",
     "bool_",
     "by_name",
+    "current_lane",
     "current_profiler",
     "current_trace",
+    "lane_scope",
     "float32",
     "float64",
     "from_numpy",

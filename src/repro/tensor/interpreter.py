@@ -14,6 +14,7 @@ from repro.errors import GraphError
 from repro.tensor import ops
 from repro.tensor.device import Device, parse_device
 from repro.tensor.graph import Graph
+from repro.tensor.profiler import lane_scope
 from repro.tensor.tensor import Tensor
 
 
@@ -58,7 +59,17 @@ class GraphInterpreter:
                 if node_inputs and node_inputs[0].device == node_device:
                     env[node.outputs[0]] = node_inputs[0]
                     continue
-            outputs = ops.execute_op(node.op, node_inputs, node.attrs, node_device)
+            lane = node.attrs.get("lane")
+            if lane is None:
+                outputs = ops.execute_op(node.op, node_inputs, node.attrs, node_device)
+            else:
+                # Nodes traced inside a morsel-parallel region carry the worker
+                # lane they ran on; re-entering the lane while replaying keeps
+                # the profile (and therefore the simulated-device cost models)
+                # aware of the parallel structure.
+                with lane_scope(lane):
+                    outputs = ops.execute_op(node.op, node_inputs, node.attrs,
+                                             node_device)
             if self.per_node_overhead_s:
                 self._burn(self.per_node_overhead_s)
             if len(outputs) != len(node.outputs):

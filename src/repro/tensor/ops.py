@@ -88,12 +88,19 @@ def _record_profile(name: str, inputs: Sequence[Tensor], outputs: Sequence[Tenso
 
 def _record_trace(name: str, inputs: Sequence[Tensor], outputs: Sequence[Tensor],
                   attrs: dict) -> None:
+    from repro.tensor import profiler as _profiler
     from repro.tensor import tracing as _tracing
 
     ctx = _tracing.current_trace()
     if ctx is None:
         return
-    ctx.record(name, list(inputs), list(outputs), dict(attrs))
+    attrs = dict(attrs)
+    # Stamp the active worker lane onto the node so that replaying the traced
+    # graph preserves the morsel-parallel structure for the cost models.
+    lane = _profiler.current_lane()
+    if lane is not None:
+        attrs.setdefault("lane", lane)
+    ctx.record(name, list(inputs), list(outputs), attrs)
 
 
 def execute_op(name: str, inputs: Sequence[Tensor], attrs: dict | None = None,
@@ -260,6 +267,25 @@ def to_device(a: Tensor, device: Device | str) -> Tensor:
     if dev == a.device:
         return a
     return _apply("to_device", [a], {"device": str(dev)}, device=dev)
+
+
+@register_op("morsel_dispatch")
+def _morsel_dispatch_kernel(arrays: list[np.ndarray], attrs: dict) -> list[np.ndarray]:
+    # Identity: no data moves.  The event/node marks the hand-off of one morsel
+    # to a worker lane; device cost models charge a fixed scheduling cost per
+    # dispatch and must ignore the pass-through byte counts.
+    return [arrays[0]]
+
+
+def morsel_dispatch(a: Tensor, lane: int, morsel: int, rows: int = 0) -> Tensor:
+    """Mark ``a`` (one column of a morsel) as dispatched to a worker lane.
+
+    The op is a zero-copy identity kept load-bearing in traced graphs by
+    threading the tensor through it, so dead-code elimination cannot drop the
+    dispatch accounting that the morsel-parallel cost models rely on.
+    """
+    return _apply("morsel_dispatch", [a],
+                  {"lane": int(lane), "morsel": int(morsel), "rows": int(rows)})
 
 
 # ---------------------------------------------------------------------------

@@ -20,7 +20,12 @@ _CREATION_OPS = {"zeros", "full", "arange"}
 
 # Ops that must never be folded/merged because their semantics depend on the
 # execution environment rather than only on input values.
-_IMPURE_OPS = {"to_device"}
+_IMPURE_OPS = {"to_device", "morsel_dispatch"}
+
+# Ops kept alive even when their outputs are unused: they exist for their
+# accounting side effect (a morsel dispatch event the parallel cost models
+# count), not for their data.
+_SIDE_EFFECT_OPS = {"morsel_dispatch"}
 
 # Never fuse these: impure ops, and already-fused kernels (fusion is one-shot;
 # nesting fused programs would complicate the local SSA numbering for no win).
@@ -32,7 +37,7 @@ def dead_code_elimination(graph: Graph) -> Graph:
     live: set[int] = set(graph.outputs)
     kept_reversed: list[Node] = []
     for node in reversed(graph.nodes):
-        if any(out in live for out in node.outputs):
+        if node.op in _SIDE_EFFECT_OPS or any(out in live for out in node.outputs):
             kept_reversed.append(node)
             live.update(node.inputs)
     graph.nodes = list(reversed(kept_reversed))
@@ -181,6 +186,11 @@ def _build_fused_node(group: list[Node], external_used: set[int]) -> Node:
         "outputs": [local[vid] for vid in exposed],
         "label": "+".join(node.op for node in group),
     }
+    # A chain fused entirely inside one morsel keeps its worker-lane stamp so
+    # the parallel cost models still attribute the fused launch to that lane.
+    lanes = {node.attrs.get("lane") for node in group}
+    if len(lanes) == 1 and None not in lanes:
+        attrs["lane"] = lanes.pop()
     return Node("fused_kernel", ext_inputs, exposed, attrs)
 
 
@@ -249,6 +259,11 @@ def fuse_elementwise(graph: Graph, min_group_size: int = 2) -> Graph:
     current: list[Node] = []
     for node in graph.nodes:
         if _is_fusible(node):
+            # Never fuse across worker lanes: a fused kernel is one launch, and
+            # one launch cannot run on two morsel workers at once.
+            if current and current[-1].attrs.get("lane") != node.attrs.get("lane"):
+                runs.append(current)
+                current = []
             current.append(node)
         else:
             if current:

@@ -30,6 +30,44 @@ def current_profiler() -> "Profiler | None":
     return stack[-1]
 
 
+# -- worker-lane annotation ---------------------------------------------------
+#
+# The morsel-driven parallel operators (``repro.core.operators.parallel``)
+# execute one morsel at a time on a simulated worker lane.  While a lane is
+# active every recorded op event carries its lane id, and every traced graph
+# node is stamped with a ``lane`` attribute — which is how the device cost
+# models reconstruct per-worker timelines from a single-threaded run, on both
+# the eager and the traced (graph-replay) backends.
+
+
+def current_lane() -> "int | None":
+    """The active worker lane id, or ``None`` outside any parallel region."""
+    lanes = getattr(_STATE, "lanes", None)
+    if not lanes:
+        return None
+    return lanes[-1]
+
+
+class lane_scope:
+    """Context manager marking ops executed inside it as worker-lane work."""
+
+    def __init__(self, lane: int):
+        self.lane = lane
+
+    def __enter__(self) -> "lane_scope":
+        lanes = getattr(_STATE, "lanes", None)
+        if lanes is None:
+            lanes = []
+            _STATE.lanes = lanes
+        lanes.append(self.lane)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        lanes = getattr(_STATE, "lanes", [])
+        if lanes:
+            lanes.pop()
+
+
 @dataclasses.dataclass
 class OpEvent:
     """One executed op."""
@@ -41,6 +79,8 @@ class OpEvent:
     device: str
     timestamp_s: float
     scope: str = ""
+    #: Simulated worker lane the op ran on (``None`` = serial region).
+    lane: "int | None" = None
 
     @property
     def total_bytes(self) -> int:
@@ -82,6 +122,7 @@ class Profiler:
             device=str(device),
             timestamp_s=time.perf_counter() - self._start,
             scope=self._scopes[-1] if self._scopes else "",
+            lane=current_lane(),
         ))
 
     def push_scope(self, scope: str) -> None:

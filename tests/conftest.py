@@ -1,7 +1,8 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and frame-comparison helpers for the test suite."""
 
 from __future__ import annotations
 
+import math
 import pathlib
 
 import numpy as np
@@ -9,6 +10,66 @@ import pytest
 
 from repro import DataFrame, TQPSession
 from repro.bench.harness import tpch_session
+
+
+# -- differential frame comparison --------------------------------------------
+#
+# Shared by the differential suites (TPC-H conformance, expression properties,
+# parallel-vs-serial): morsel-parallel plans reorder join output and
+# re-associate partial sums, so frames are compared as row multisets within a
+# float tolerance, never bitwise.
+
+
+def normalize_cell(value):
+    """Canonical python value for one cell (NaN and None both mean NULL)."""
+    if value is None:
+        return None
+    if isinstance(value, np.datetime64):
+        return str(value.astype("datetime64[D]"))
+    if isinstance(value, (bool, np.bool_)):
+        return bool(value)
+    if isinstance(value, (float, np.floating)):
+        return None if np.isnan(value) else float(value)
+    if isinstance(value, (int, np.integer)):
+        return float(value)
+    return str(value)
+
+
+def cells_close(left, right, rel_tol: float = 1e-6, abs_tol: float = 1e-6) -> bool:
+    if left is None or right is None:
+        return left is None and right is None
+    if isinstance(left, float) and isinstance(right, float):
+        return math.isclose(left, right, rel_tol=rel_tol, abs_tol=abs_tol)
+    return left == right
+
+
+def _frame_rows(frame) -> list[tuple]:
+    columns = [frame[name] for name in frame.columns]
+    return [tuple(normalize_cell(column[i]) for column in columns)
+            for i in range(frame.num_rows)]
+
+
+def _sort_key(row) -> tuple:
+    return tuple("~none" if cell is None
+                 else (f"{cell:+.4f}" if isinstance(cell, float) else str(cell))
+                 for cell in row)
+
+
+def assert_frames_match(actual, expected, context: str = "",
+                        ordered: bool = False,
+                        rel_tol: float = 1e-6, abs_tol: float = 1e-6) -> None:
+    """Row-for-row equality within float tolerance; sorted unless ``ordered``."""
+    assert len(actual.columns) == len(expected.columns), context
+    assert actual.num_rows == expected.num_rows, context
+    left, right = _frame_rows(actual), _frame_rows(expected)
+    if not ordered:
+        left, right = sorted(left, key=_sort_key), sorted(right, key=_sort_key)
+    for row_index, (lrow, rrow) in enumerate(zip(left, right)):
+        for col_index, (lcell, rcell) in enumerate(zip(lrow, rrow)):
+            assert cells_close(lcell, rcell, rel_tol, abs_tol), (
+                f"{context}: row {row_index}, column "
+                f"{actual.columns[col_index]!r}: {lcell!r} != {rcell!r}"
+            )
 
 _TIERS = ("unit", "integration", "property")
 
@@ -22,6 +83,16 @@ def pytest_collection_modifyitems(config, items):
             if tier in parts:
                 item.add_marker(getattr(pytest.mark, tier))
                 break
+
+
+@pytest.fixture(scope="session")
+def frames_match():
+    """The shared differential frame assertion (see :func:`assert_frames_match`).
+
+    Exposed as a fixture because ``tests/`` is not a package, so test modules
+    in subdirectories cannot import helpers from this conftest directly.
+    """
+    return assert_frames_match
 
 
 @pytest.fixture

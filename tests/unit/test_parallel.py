@@ -1,0 +1,334 @@
+"""Unit tests for the morsel-driven parallel execution layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DataFrame, TQPSession
+from repro.backends.base import split_parallel
+from repro.backends.cpu import CPUDevice
+from repro.backends.gpu_sim import SimulatedGPU
+from repro.core.columnar import (
+    DEFAULT_MORSEL_ROWS,
+    LogicalType,
+    TensorColumn,
+    TensorTable,
+    morsel_bounds,
+)
+from repro.core.operators import PARALLEL_THRESHOLD_ROWS, MorselWorkerPool
+from repro.core.operators.parallel import effective_morsel_rows
+from repro.errors import CatalogError, ExecutionError
+from repro.tensor import Profiler, current_lane, lane_scope, ops, passes, tracing
+
+N_ROWS = 3 * PARALLEL_THRESHOLD_ROWS  # comfortably above the parallel threshold
+
+
+# -- data ---------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def frames():
+    rng = np.random.default_rng(4242)
+    orders = DataFrame({
+        "order_id": np.arange(N_ROWS, dtype=np.int64),
+        "customer_id": rng.integers(0, 500, size=N_ROWS).astype(np.int64),
+        "amount": np.round(rng.uniform(1.0, 500.0, size=N_ROWS), 2),
+        "quantity": rng.integers(1, 50, size=N_ROWS).astype(np.int64),
+        "segment": rng.choice(["web", "store", "phone"], size=N_ROWS).astype(object),
+    })
+    customers = DataFrame({
+        "customer_id": np.arange(600, dtype=np.int64),
+        "region": rng.choice(["EU", "US", "APAC"], size=600).astype(object),
+    })
+    return {"orders": orders, "customers": customers}
+
+
+@pytest.fixture(scope="module")
+def session(frames):
+    sess = TQPSession()
+    for name, frame in frames.items():
+        sess.register(name, frame)
+    return sess
+
+
+# -- morsel partitioning (columnar layer) -------------------------------------
+
+
+def test_morsel_bounds_cover_input_exactly():
+    bounds = morsel_bounds(10_000, 4096)
+    assert bounds == [(0, 4096), (4096, 4096), (8192, 1808)]
+    assert morsel_bounds(0, 4096) == []
+    assert morsel_bounds(1, 4096) == [(0, 1)]
+    with pytest.raises(ExecutionError):
+        morsel_bounds(10, 0)
+
+
+def test_effective_morsel_rows_adapts_to_input():
+    # Small inputs stay at the floor; large inputs split across the lanes.
+    assert effective_morsel_rows(1_000, 2048, 4) == 2048
+    assert effective_morsel_rows(1_000_000, 2048, 4) == 250_000
+
+
+def test_table_slice_and_morsels_roundtrip(frames):
+    table = TensorTable.from_dataframe(frames["orders"])
+    piece = table.slice(100, 50)
+    assert piece.num_rows == 50
+    assert piece.column("order_id").tensor.numpy().tolist() == list(range(100, 150))
+    # String columns keep their width; a full morsel sweep covers every row.
+    total = sum(m.num_rows for m in table.morsels(DEFAULT_MORSEL_ROWS))
+    assert total == table.num_rows
+
+
+def test_slice_preserves_validity_mask(frames):
+    table = TensorTable.from_dataframe(frames["orders"])
+    column = table.column("amount")
+    valid = ops.tensor([i % 2 == 0 for i in range(table.num_rows)], dtype="bool")
+    masked = TensorColumn(column.tensor, column.ltype, valid)
+    piece = masked.slice(0, 4)
+    assert piece.valid is not None
+    assert piece.valid.numpy().tolist() == [True, False, True, False]
+
+
+# -- worker pool and lane annotations -----------------------------------------
+
+
+def test_pool_assigns_lanes_round_robin():
+    seen = []
+
+    def task_factory(i):
+        def task(lane):
+            seen.append((i, lane, current_lane()))
+            return TensorTable({})
+        return task
+
+    MorselWorkerPool(parallelism=3).run([task_factory(i) for i in range(7)])
+    assert [(i, lane) for i, lane, _ in seen] == [
+        (0, 0), (1, 1), (2, 2), (3, 0), (4, 1), (5, 2), (6, 0)]
+    # Inside the pool each task observes its own lane via the thread-local.
+    assert all(observed == lane for _, lane, observed in seen)
+    assert current_lane() is None
+
+
+def test_pool_thread_mode_returns_ordered_results():
+    pool = MorselWorkerPool(parallelism=4, use_threads=True)
+    results = pool.run([
+        (lambda lane, i=i: TensorTable(
+            {"v": TensorColumn(ops.tensor([float(i)]), LogicalType.FLOAT)}))
+        for i in range(8)
+    ])
+    assert [t.column("v").tensor.numpy()[0] for t in results] == list(range(8))
+
+
+def test_profiler_records_lanes_and_dispatch():
+    with Profiler() as prof:
+        with lane_scope(2):
+            ops.add(ops.tensor([1.0, 2.0]), 1.0)
+            ops.morsel_dispatch(ops.tensor([1.0]), lane=2, morsel=0)
+        ops.add(ops.tensor([1.0]), 1.0)
+    serial, lanes, dispatches = split_parallel(prof.events)
+    assert len(serial) == 1 and set(lanes) == {2} and len(dispatches) == 1
+    assert lanes[2][0].lane == 2
+
+
+def test_lane_annotation_survives_trace_and_replay():
+    def fn(t):
+        with lane_scope(1):
+            t = ops.morsel_dispatch(t, lane=1, morsel=0)
+            t = ops.mul(t, 2.0)
+        return ops.add(t, 1.0)
+
+    example = ops.tensor([1.0, 2.0])
+    graph = tracing.trace(fn, [example])
+    lanes_in_graph = [n.attrs.get("lane") for n in graph.nodes]
+    assert lanes_in_graph == [1, 1, None]
+    # DCE keeps dispatch nodes alive; fusion never crosses a lane boundary.
+    optimized = passes.optimize(graph.clone())
+    assert "morsel_dispatch" in optimized.op_counts()
+
+    from repro.tensor import GraphInterpreter
+
+    with Profiler() as prof:
+        out = GraphInterpreter(graph).run([ops.tensor([3.0, 4.0])])
+    assert out[0].numpy().tolist() == [7.0, 9.0]
+    _, lanes, dispatches = split_parallel(prof.events)
+    assert set(lanes) == {1} and len(dispatches) == 1
+
+
+# -- parallel operators match serial execution --------------------------------
+
+
+PARALLEL_QUERIES = [
+    "select order_id, amount * quantity as total from orders where amount > 250",
+    "select segment, count(*) as n, sum(amount) as s, avg(amount) as m, "
+    "min(quantity) as lo, max(quantity) as hi from orders group by segment",
+    "select count(*) as n, sum(amount) as s, avg(quantity) as q from orders",
+    "select region, sum(amount) as revenue from orders, customers "
+    "where orders.customer_id = customers.customer_id group by region",
+    "select order_id from orders where exists (select * from customers "
+    "where customers.customer_id = orders.customer_id and region = 'EU') "
+    "and amount > 400",
+]
+
+
+@pytest.mark.parametrize("sql", PARALLEL_QUERIES)
+def test_parallel_matches_serial(session, frames_match, sql):
+    serial = session.sql(sql, parallelism=1)
+    for parallelism in (2, 4, 7):
+        frames_match(session.sql(sql, parallelism=parallelism), serial,
+                     f"{sql} @ parallelism={parallelism}")
+
+
+def test_parallel_nullable_aggregates_match_serial_and_oracle(session, frames,
+                                                               frames_match):
+    """Partial-then-merge must skip NULL inputs exactly like the serial path
+    and the row-engine oracle (per-group valid counts, masked min/max)."""
+    from repro.baselines import RowEngine
+    from repro.frontend import sql_to_physical
+
+    sql = ("select segment, avg(case when amount > 250 then amount end) as a, "
+           "min(case when amount > 450 then amount end) as lo, "
+           "max(case when amount > 450 then amount end) as hi, "
+           "sum(case when amount > 250 then amount end) as s, "
+           "count(case when amount > 250 then amount end) as c "
+           "from orders group by segment order by segment")
+    serial = session.sql(sql, parallelism=1)
+    frames_match(session.sql(sql, parallelism=4), serial, sql)
+    oracle = RowEngine(frames).execute_to_dataframe(
+        sql_to_physical(sql, session.catalog))
+    frames_match(serial, oracle, sql)
+    # A group where nothing contributes must be NULL, at every parallelism.
+    sql = "select min(case when amount > 1e9 then amount end) as lo from orders"
+    assert session.sql(sql, parallelism=1).to_dict() == {"lo": [None]}
+    assert session.sql(sql, parallelism=4).to_dict() == {"lo": [None]}
+
+
+def test_threaded_parallel_matches_serial(frames, frames_match):
+    sess = TQPSession(default_parallelism=4, parallel_mode="threads")
+    for name, frame in frames.items():
+        sess.register(name, frame)
+    sql = PARALLEL_QUERIES[0]
+    serial = sess.sql(sql, parallelism=1)
+    frames_match(sess.sql(sql), serial, sql)
+
+
+def test_partitioned_join_kinds_match_serial(session, frames_match):
+    joins = [
+        "select order_id, region from orders left outer join customers "
+        "on orders.customer_id = customers.customer_id where amount > 450",
+        "select order_id from orders where customer_id in "
+        "(select customer_id from customers where region = 'US')",
+    ]
+    for sql in joins:
+        frames_match(session.sql(sql, parallelism=4),
+                     session.sql(sql, parallelism=1), sql)
+
+
+# -- planner choices ----------------------------------------------------------
+
+
+def test_planner_parallelizes_above_threshold_only(session):
+    big = session.compile("select * from orders where amount > 10",
+                          parallelism=4, use_cache=False)
+    assert "MorselFilter(workers=4)" in big.operator_plan.root.pretty()
+    small = session.compile("select * from customers where region = 'EU'",
+                            parallelism=4, use_cache=False)
+    plan = small.operator_plan.root.pretty()
+    assert "Morsel" not in plan  # 600 rows is below the threshold
+    serial = session.compile("select * from orders where amount > 10",
+                             parallelism=1, use_cache=False)
+    assert "Morsel" not in serial.operator_plan.root.pretty()
+
+
+def test_planner_keeps_subqueries_and_distinct_serial(session):
+    sql = ("select count(distinct customer_id) as n from orders "
+           "where amount > 10")
+    compiled = session.compile(sql, parallelism=4, use_cache=False)
+    plan = compiled.operator_plan.root.pretty()
+    assert "ParallelHashAggregate" not in plan  # COUNT DISTINCT cannot merge
+    assert "MorselFilter" in plan               # the filter still parallelizes
+    sql = ("select order_id from orders where amount > "
+           "(select avg(amount) from orders)")
+    compiled = session.compile(sql, parallelism=4, use_cache=False)
+    assert "MorselFilter" not in compiled.operator_plan.root.pretty()
+
+
+def test_plan_cache_keys_include_parallelism(session):
+    sql = "select sum(amount) as s from orders"
+    p1 = session.compile(sql, parallelism=1)
+    p4 = session.compile(sql, parallelism=4)
+    assert p1 is not p4
+    assert session.compile(sql, parallelism=4) is p4
+    assert p1.executor.parallelism == 1 and p4.executor.parallelism == 4
+
+
+# -- executor input validation ------------------------------------------------
+
+
+def test_prepare_inputs_validates_tables_and_columns(session):
+    compiled = session.compile("select sum(amount) as s from orders",
+                               use_cache=False)
+    with pytest.raises(CatalogError, match="'orders'"):
+        compiled.executor.prepare_inputs({})
+    # Case-insensitive table matching, like the session catalog.
+    upper = {"ORDERS": session.dataframe("orders")}
+    assert "orders" in compiled.executor.prepare_inputs(upper)
+    bad = {"orders": DataFrame({"order_id": np.arange(3, dtype=np.int64)})}
+    with pytest.raises(ExecutionError, match="amount"):
+        compiled.executor.prepare_inputs(bad)
+
+
+# -- cost models --------------------------------------------------------------
+
+
+def _synthetic_profile(lanes: int, events_per_lane: int, bytes_per_event: int,
+                       elapsed_s: float = 1e-4) -> Profiler:
+    prof = Profiler()
+    device = ops.tensor([1.0]).device
+    for lane in range(lanes):
+        with lane_scope(lane):
+            prof.record("morsel_dispatch", 0.0, 0, 0, device)
+            for _ in range(events_per_lane):
+                prof.record("mul", elapsed_s, bytes_per_event, bytes_per_event,
+                            device)
+    return prof
+
+
+def test_gpu_model_charges_slowest_lane_plus_dispatch():
+    model = SimulatedGPU()
+    serial = Profiler()
+    device = ops.tensor([1.0]).device
+    for _ in range(4 * 3):
+        serial.record("mul", 1e-4, 10_000_000, 10_000_000, device)
+    parallel = _synthetic_profile(lanes=4, events_per_lane=3,
+                                  bytes_per_event=10_000_000)
+    t_serial = model.report_time(1.0, serial)
+    t_parallel = model.report_time(1.0, parallel)
+    # 4 concurrent lanes: ~4x faster, minus the per-morsel dispatch charge.
+    assert t_parallel < t_serial / 3
+    assert t_parallel >= t_serial / 4
+    expected_lane = 3 * max(model.kernel_launch_overhead_s,
+                            20_000_000 / (model.hbm_bandwidth_gbs * 1e9))
+    assert t_parallel == pytest.approx(
+        expected_lane + 4 * model.morsel_dispatch_overhead_s)
+
+
+def test_cpu_model_reports_kernel_time_and_lanes():
+    model = CPUDevice()
+    assert model.report_time(0.5, None) == 0.5
+    parallel = _synthetic_profile(lanes=4, events_per_lane=2,
+                                  bytes_per_event=1000, elapsed_s=1e-3)
+    reported = model.report_time(1.0, parallel)
+    assert reported == pytest.approx(
+        2e-3 + 4 * model.morsel_dispatch_overhead_s)
+
+
+def test_dispatch_event_bytes_are_ignored():
+    model = SimulatedGPU()
+    prof = Profiler()
+    device = ops.tensor([1.0]).device
+    # A dispatch is an identity pass-through: huge byte counts, zero charge
+    # beyond the fixed scheduling cost.
+    prof.record("morsel_dispatch", 0.0, 10**12, 10**12, device)
+    assert model.report_time(0.0, prof) == pytest.approx(
+        model.morsel_dispatch_overhead_s)

@@ -42,7 +42,7 @@ def test_joins_inner_left_semi_anti(tables):
     assert inner.to_dict()["floor"] == [3, 3, 1]
     left = _run("select emp_id, floor from emp left outer join dept "
                 "on emp.dept = dept.dept order by emp_id", tables)
-    assert left.to_dict()["floor"][3] == 0  # NULL rendered as 0 for int columns
+    assert left.to_dict()["floor"][3] is None  # int NULL survives as None
     semi = _run("select emp_id from emp where exists "
                 "(select * from dept where dept.dept = emp.dept) order by emp_id",
                 tables)
