@@ -8,7 +8,9 @@ Public entry points:
 
 * :class:`repro.TQPSession` — compile and run SQL over registered dataframes
   on a chosen backend (pytorch / torchscript / onnx) and device (cpu / cuda /
-  wasm, the latter two simulated).
+  wasm, the latter two simulated).  ``session.prepare(sql)`` returns a
+  :class:`repro.PreparedQuery` for compile-once/bind-many serving.
+* :class:`repro.ExecutionOptions` — every compile/execute knob in one object.
 * :mod:`repro.tensor` — the mini tensor runtime (PyTorch stand-in).
 * :mod:`repro.datasets` — TPC-H dbgen, synthetic Amazon reviews, Iris.
 * :mod:`repro.ml` — from-scratch ML models and the Hummingbird-like compiler
@@ -16,9 +18,12 @@ Public entry points:
 * :mod:`repro.baselines` — the row-at-a-time comparator engine (Spark stand-in).
 """
 
-from repro.core.session import CompiledQuery, TQPSession
+from repro.core.options import ExecutionOptions
+from repro.core.parameters import ParameterSpec
+from repro.core.session import BoundQuery, CompiledQuery, PreparedQuery, TQPSession
 from repro.dataframe import DataFrame
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
-__all__ = ["CompiledQuery", "DataFrame", "TQPSession", "__version__"]
+__all__ = ["BoundQuery", "CompiledQuery", "DataFrame", "ExecutionOptions",
+           "ParameterSpec", "PreparedQuery", "TQPSession", "__version__"]

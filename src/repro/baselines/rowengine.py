@@ -49,6 +49,11 @@ class RowExpressionEvaluator:
             return row[expr.resolved or expr.display]
         if isinstance(expr, ast.Literal):
             return expr.value
+        if isinstance(expr, ast.ParameterExpr):
+            if expr.name not in self.engine.params:
+                raise ExecutionError(
+                    f"no value bound for parameter :{expr.name}")
+            return self.engine.params[expr.name]
         if isinstance(expr, ast.BinaryOp):
             return self._binary(expr, row)
         if isinstance(expr, ast.UnaryOp):
@@ -188,9 +193,13 @@ class RowEngine:
     """Executes frontend physical plans one row at a time."""
 
     def __init__(self, dataframes: dict[str, DataFrame],
-                 models: Optional[dict[str, Callable]] = None):
+                 models: Optional[dict[str, Callable]] = None,
+                 params: Optional[dict[str, Any]] = None):
         self.dataframes = {name.lower(): frame for name, frame in dataframes.items()}
         self.models = models or {}
+        #: Bound parameter values (normalized Python scalars, see
+        #: ``repro.core.parameters.bind_parameters``) for parameterized plans.
+        self.params = params or {}
         self.evaluator = RowExpressionEvaluator(self)
         self._subquery_cache: dict[int, list[Row]] = {}
 
@@ -432,12 +441,43 @@ class RowEngine:
 
 
 def run_sql(sql: str, dataframes: dict[str, DataFrame],
-            models: Optional[dict[str, Callable]] = None) -> DataFrame:
-    """Convenience: run ``sql`` through the shared frontend on the row engine."""
+            models: Optional[dict[str, Callable]] = None,
+            params: Optional[dict[str, Any]] = None) -> DataFrame:
+    """Convenience: run ``sql`` through the shared frontend on the row engine.
+
+    ``params`` binds ``:name`` / ``?`` markers in the text; values are
+    normalized through the same validation as the tensor engine so both
+    engines agree on e.g. date representations.
+    """
+    from repro.core.parameters import ParameterSpec, bind_parameters
     from repro.frontend import Catalog, sql_to_physical
+    from repro.frontend.optimizer import node_expressions_physical
+    from repro.frontend.physical import walk_physical
 
     catalog = Catalog()
     for name, frame in dataframes.items():
         catalog.register(name, frame)
     plan = sql_to_physical(sql, catalog)
-    return RowEngine(dataframes, models).execute_to_dataframe(plan)
+    normalized: dict[str, Any] = {}
+    if params:
+        specs: list[ParameterSpec] = []
+        seen: set[str] = set()
+
+        def collect(physical_plan: phys.PhysicalNode) -> None:
+            for node in walk_physical(physical_plan):
+                for expr in node_expressions_physical(node):
+                    for sub in ast.walk_expr(expr):
+                        if isinstance(sub, ast.ParameterExpr) and sub.name not in seen:
+                            seen.add(sub.name)
+                            specs.append(ParameterSpec(sub.name, sub.otype,
+                                                       sub.position, sub.positional))
+                        subplan = getattr(sub, "subplan", None)
+                        if isinstance(subplan, phys.PhysicalNode):
+                            collect(subplan)
+
+        collect(plan)
+        normalized = bind_parameters(specs, params)
+    return RowEngine(dataframes, models,
+                     params=normalized).execute_to_dataframe(plan)
+
+

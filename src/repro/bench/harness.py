@@ -15,6 +15,7 @@ import time
 from typing import Callable, Optional
 
 from repro.baselines import RowEngine
+from repro.core.options import ExecutionOptions
 from repro.core.session import TQPSession
 from repro.dataframe import DataFrame
 from repro.datasets import tpch
@@ -77,8 +78,9 @@ def time_tqp(session: TQPSession, sql: str, backend: str = "torchscript",
         profile = True
     hits_before = session.plan_cache.hits
     compile_start = time.perf_counter()
-    query = session.compile(sql, backend=backend, device=device,
-                            use_cache=use_cache, parallelism=parallelism)
+    query = session.compile(sql, options=ExecutionOptions(
+        backend=backend, device=device, use_cache=use_cache,
+        parallelism=parallelism))
     compile_s = time.perf_counter() - compile_start
     inputs = session.prepare_inputs(query.executor)
     for _ in range(warmup):

@@ -200,10 +200,15 @@ class TensorColumn:
         return TensorColumn(self.tensor.to(device), self.ltype, valid)
 
     def validity(self) -> Tensor:
-        """Return the validity mask, materializing an all-true mask if absent."""
+        """Return the validity mask, materializing an all-true mask if absent.
+
+        The mask is sized off the data tensor at run time (``full_like_rows``)
+        so traced programs stay correct when a parameter rebinding changes how
+        many rows reach this column.
+        """
         if self.valid is not None:
             return self.valid
-        return ops.full((self.num_rows,), True, dtype="bool", device=self.device)
+        return ops.full_like_rows(self.tensor, True, dtype="bool")
 
     # -- conversion ---------------------------------------------------------------
 
@@ -270,6 +275,14 @@ class TensorTable:
         for col in self._columns.values():
             return col.device
         return parse_device("cpu")
+
+    @property
+    def anchor(self) -> "Tensor | None":
+        """A per-row tensor of this table, if any — the size reference the
+        shape-polymorphic creation ops (``full_like_rows`` etc.) hang off."""
+        for col in self._columns.values():
+            return col.tensor
+        return None
 
     def __contains__(self, name: str) -> bool:
         return name in self._columns

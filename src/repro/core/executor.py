@@ -23,8 +23,10 @@ from typing import Callable, Optional
 
 from repro.backends import BackendSpec, get_backend, get_device_model
 from repro.core.columnar import LogicalType, TensorColumn, TensorTable
-from repro.core.expressions import EvaluationContext
-from repro.core.operators import ExecutionContext, ScanOperator
+from repro.core.expressions import EvaluationContext, ExprValue
+from repro.core.operators import ExecutionContext
+from repro.core.options import ExecutionOptions
+from repro.core.parameters import ParameterSpec, bind_parameters, to_expr_value
 from repro.core.planner import OperatorPlan
 from repro.dataframe import DataFrame
 from repro.errors import CatalogError, ExecutionError
@@ -48,20 +50,38 @@ class ExecutionResult:
 
 
 class Executor:
-    """Runs an operator plan on a chosen backend and device."""
+    """Runs an operator plan on a chosen backend and device.
+
+    Construction accepts either an :class:`ExecutionOptions` (preferred) or
+    the legacy ``backend=`` / ``device=`` / ``parallelism=`` keywords.  Plans
+    with bind parameters (see ``plan.params``) take a ``params`` mapping on
+    every :meth:`execute`; on the graph backends those values are fed to the
+    already-traced program as runtime inputs — re-binding never re-traces.
+    """
 
     def __init__(self, plan: OperatorPlan, backend: BackendSpec | str = "pytorch",
                  device: Device | str = "cpu",
                  models: Optional[dict[str, Callable]] = None,
-                 parallelism: int = 1):
+                 parallelism: int = 1,
+                 options: Optional[ExecutionOptions] = None):
         self.plan = plan
+        if options is not None:
+            backend = options.backend or backend
+            device = options.device if options.device is not None else device
+            parallelism = (options.parallelism if options.parallelism is not None
+                           else parallelism)
         self.backend = get_backend(backend) if isinstance(backend, str) else backend
         self.device = parse_device(device)
+        self.options = (options or ExecutionOptions()).replace(
+            backend=self.backend.name, device=self.device,
+            parallelism=max(1, int(parallelism)))
         self.models = models or {}
         #: Worker lanes available to the plan's morsel-driven operators.  The
         #: plan itself already embeds the parallel operator choice; the knob is
         #: threaded here so results/profiles can report the worker count.
         self.parallelism = max(1, int(parallelism))
+        #: Bind parameters of the plan, in lexical order.
+        self.params: list[ParameterSpec] = list(getattr(plan, "params", []) or [])
         self.cost_model = get_device_model(self.device)
         #: Number of trace-compilations performed; the plan-cache benchmarks
         #: read this to prove cache hits skip the trace entirely.
@@ -115,22 +135,49 @@ class Executor:
 
     # -- execution ------------------------------------------------------------
 
-    def execute(self, inputs: dict[str, TensorTable], profile: bool = False
-                ) -> ExecutionResult:
-        """Run the query over prepared inputs and return the result."""
+    def bind(self, params: Optional[dict] = None) -> dict:
+        """Validate and normalize a parameter binding for this plan.
+
+        Raises :class:`~repro.errors.BindingError` for missing, unknown or
+        ill-typed values (see ``repro.core.parameters.bind_parameters``).
+        """
+        return bind_parameters(self.params, params or {})
+
+    def _param_values(self, bound: dict) -> dict[str, ExprValue]:
+        """Scalar tensors for a normalized binding, created on the CPU.
+
+        The execution context moves them to the target device alongside the
+        table inputs, so the transfer is part of the traced program and the
+        simulated cost models account for it.
+        """
+        return {spec.name: to_expr_value(spec, bound[spec.name],
+                                         parse_device("cpu"))
+                for spec in self.params}
+
+    def execute(self, inputs: dict[str, TensorTable], profile: bool = False,
+                params: Optional[dict] = None) -> ExecutionResult:
+        """Run the query over prepared inputs and return the result.
+
+        ``params`` binds the plan's parameters (validated up front with typed
+        errors); on the graph backends the values are runtime inputs of the
+        traced program, so executing with a new binding never re-traces.
+        """
+        bound = self.bind(params)
         if self.backend.strategy == "graph" and self._program is None:
             # Trace before entering the profiled region: the eager tracing
             # run dispatches every op once, and folding those events into the
             # run's profile would make the simulated devices charge each
             # kernel and transfer twice on a one-shot execution.
-            self.compile_program(inputs)
+            self.compile_program(inputs, params=bound)
         want_profile = profile or self.device.is_simulated
         profiler = Profiler(name=f"{self.backend.name}-{self.device}") if want_profile else None
 
         if self.backend.strategy == "eager":
-            run = self._run_eager
+            def run(tables: dict[str, TensorTable]) -> TensorTable:
+                return self._run_eager(tables, bound)
         else:
-            run = self._run_graph
+            def run(tables: dict[str, TensorTable]) -> TensorTable:
+                return self._run_graph(tables, bound)
 
         if profiler is not None:
             with profiler:
@@ -151,19 +198,30 @@ class Executor:
 
     # -- eager (PyTorch-like) path ----------------------------------------------
 
-    def _execution_context(self, inputs: dict[str, TensorTable]) -> ExecutionContext:
+    def _execution_context(self, inputs: dict[str, TensorTable],
+                           param_values: Optional[dict[str, ExprValue]] = None
+                           ) -> ExecutionContext:
         moved = {alias: table.to(self.device) for alias, table in inputs.items()}
+        params = {}
+        for name, value in (param_values or {}).items():
+            tensor = value.tensor
+            if tensor.device != self.device:
+                tensor = tensor.to(self.device)
+            params[name] = ExprValue(tensor, value.ltype, value.is_scalar,
+                                     value.valid)
         ctx = ExecutionContext(moved, device=self.device,
                                parallelism=self.parallelism)
         ctx.eval_ctx = EvaluationContext(
             device=self.device,
             subquery_runner=lambda subplan: subplan.execute(ctx),
             models=self.models,
+            params=params,
         )
         return ctx
 
-    def _run_eager(self, inputs: dict[str, TensorTable]) -> TensorTable:
-        ctx = self._execution_context(inputs)
+    def _run_eager(self, inputs: dict[str, TensorTable],
+                   bound: Optional[dict] = None) -> TensorTable:
+        ctx = self._execution_context(inputs, self._param_values(bound or {}))
         return self.plan.root.execute(ctx)
 
     # -- traced (TorchScript / ONNX-like) path ------------------------------------
@@ -187,20 +245,35 @@ class Executor:
             rebuilt.setdefault(alias, {})[name] = TensorColumn(tensor, ltype)
         return {alias: TensorTable(columns) for alias, columns in rebuilt.items()}
 
-    def compile_program(self, inputs: dict[str, TensorTable]) -> ScriptedProgram:
+    def compile_program(self, inputs: dict[str, TensorTable],
+                        params: Optional[dict] = None) -> ScriptedProgram:
         """Trace the whole query into a tensor graph for the graph backends.
 
         Like ``torch.jit.trace``, data-dependent sizes observed during tracing
         (e.g. join match counts) are baked into the program; the compiled
-        program is therefore tied to the dataset it was traced on, which is
-        how the compiled queries are used in the paper's benchmarks.
+        program is therefore tied to the dataset it was traced on.  Bind
+        parameters, by contrast, enter the graph as *named runtime inputs*
+        (``param:<name>``): executing the program with a different binding
+        feeds new scalar tensors to the same trace — this is the
+        compile-once/bind-many contract of the prepared-statement API.
         """
+        bound = self.bind(params)
         example_tensors, layout = self._flatten_inputs(inputs)
+        param_specs = list(self.params)
+        param_exprs = self._param_values(bound)
+        param_tensors = [param_exprs[spec.name].tensor for spec in param_specs]
+        input_names = ([f"{alias}.{name}" for alias, name in layout]
+                       + [f"param:{spec.name}" for spec in param_specs])
         output_columns: list[tuple[str, LogicalType, bool]] = []
 
         def traced_query(*tensors: Tensor) -> list[Tensor]:
-            rebuilt = self._rebuild_inputs(list(tensors), layout, inputs)
-            ctx = self._execution_context(rebuilt)
+            table_tensors = list(tensors[:len(layout)])
+            symbolic_params = {
+                spec.name: ExprValue(tensor, spec.ltype, True)
+                for spec, tensor in zip(param_specs, tensors[len(layout):])
+            }
+            rebuilt = self._rebuild_inputs(table_tensors, layout, inputs)
+            ctx = self._execution_context(rebuilt, symbolic_params)
             result = self.plan.root.execute(ctx)
             flat: list[Tensor] = []
             output_columns.clear()
@@ -213,7 +286,8 @@ class Executor:
             return flat
 
         self.compile_count += 1
-        graph = tracing.trace(traced_query, example_tensors, name="tqp_query")
+        graph = tracing.trace(traced_query, example_tensors + param_tensors,
+                              name="tqp_query", input_names=input_names)
         if self.backend.optimize_graph:
             graph = passes.optimize(graph)
         if self.backend.serialize:
@@ -224,15 +298,19 @@ class Executor:
         self._input_layout = layout
         return program
 
-    def _run_graph(self, inputs: dict[str, TensorTable]) -> TensorTable:
+    def _run_graph(self, inputs: dict[str, TensorTable],
+                   bound: Optional[dict] = None) -> TensorTable:
+        bound = bound if bound is not None else self.bind(None)
         if self._program is None:
-            self.compile_program(inputs)
+            self.compile_program(inputs, params=bound)
         tensors, layout = self._flatten_inputs(inputs)
         if layout != self._input_layout:
             raise ExecutionError(
                 "compiled program does not match the provided inputs; "
                 "re-create the executor or call compile_program() again"
             )
+        param_exprs = self._param_values(bound)
+        tensors = tensors + [param_exprs[spec.name].tensor for spec in self.params]
         outputs = self._program.run(tensors, device=self.device)
         columns: dict[str, TensorColumn] = {}
         cursor = 0
@@ -248,12 +326,14 @@ class Executor:
 
     # -- artifacts ------------------------------------------------------------------
 
-    def executor_graph(self, inputs: dict[str, TensorTable]) -> Graph:
+    def executor_graph(self, inputs: dict[str, TensorTable],
+                       params: Optional[dict] = None) -> Graph:
         """The traced tensor graph of this query (the Figure-4 artifact)."""
         if self._program is None:
-            self.compile_program(inputs)
+            self.compile_program(inputs, params=params)
         return self._program.graph
 
-    def export_onnx(self, inputs: dict[str, TensorTable], path: str) -> None:
+    def export_onnx(self, inputs: dict[str, TensorTable], path: str,
+                    params: Optional[dict] = None) -> None:
         """Export the traced query to the ONNX-like portable format."""
-        onnxlike.save(self.executor_graph(inputs), path)
+        onnxlike.save(self.executor_graph(inputs, params=params), path)

@@ -47,14 +47,20 @@ class EvaluationContext:
             and returning its result :class:`TensorTable`.
         models: mapping of model name → compiled predict function
             ``f(list[ExprValue], num_rows) -> ExprValue`` used by ``PREDICT``.
+        params: bound values for the statement's bind parameters, by name —
+            scalar :class:`ExprValue` objects.  On the graph backends these
+            tensors are the traced program's *runtime inputs*, which is what
+            lets one compiled program serve every binding.
     """
 
     def __init__(self, device: Device | str = "cpu",
                  subquery_runner: Optional[Callable[[Any], TensorTable]] = None,
-                 models: Optional[dict[str, Callable]] = None):
+                 models: Optional[dict[str, Callable]] = None,
+                 params: Optional[dict[str, "ExprValue"]] = None):
         self.device = parse_device(device)
         self.subquery_runner = subquery_runner
         self.models = models or {}
+        self.params = params or {}
         self._subquery_cache: dict[int, TensorTable] = {}
 
     def run_subquery(self, subplan: Any) -> TensorTable:
@@ -79,34 +85,52 @@ _LTYPE_TO_DTYPE = {
 }
 
 
-def to_column(value: ExprValue, num_rows: int) -> TensorColumn:
-    """Materialize an expression value as a column of ``num_rows`` rows."""
+def to_column(value: ExprValue, num_rows: int,
+              like: Optional[Tensor] = None) -> TensorColumn:
+    """Materialize an expression value as a column of ``num_rows`` rows.
+
+    ``like`` is an optional per-row tensor of the target table; when given,
+    scalar broadcasts size themselves off it at run time (``full_like_rows``)
+    instead of baking ``num_rows`` into the traced graph — required for
+    intermediate tables whose size depends on a bind parameter.
+    """
     tensor = value.tensor
     if value.is_scalar:
         if value.ltype == LogicalType.STRING:
             width = tensor.shape[-1] if tensor.ndim else 1
-            tensor = ops.mul(ops.ones((num_rows, width), dtype="int32",
-                                      device=tensor.device),
-                             ops.cast(tensor, "int32"))
+            if like is not None:
+                base = ops.full_like_rows(like, 1, dtype="int32", width=width)
+            else:
+                base = ops.ones((num_rows, width), dtype="int32",
+                                device=tensor.device)
+            tensor = ops.mul(base, ops.cast(tensor, "int32"))
             tensor = ops.cast(tensor, "int32")
         else:
             dtype = _LTYPE_TO_DTYPE[value.ltype]
-            tensor = ops.add(
-                ops.zeros((num_rows,), dtype=dtype, device=tensor.device),
-                ops.cast(tensor, dtype),
-            )
+            if like is not None:
+                base = ops.full_like_rows(like, 0, dtype=dtype)
+            else:
+                base = ops.zeros((num_rows,), dtype=dtype, device=tensor.device)
+            tensor = ops.add(base, ops.cast(tensor, dtype))
     return TensorColumn(tensor, value.ltype, value.valid)
 
 
-def as_mask(value: ExprValue, num_rows: int) -> Tensor:
-    """Convert a boolean expression value into a filter mask (NULL → False)."""
+def as_mask(value: ExprValue, num_rows: int,
+            like: Optional[Tensor] = None) -> Tensor:
+    """Convert a boolean expression value into a filter mask (NULL → False).
+
+    ``like`` plays the same role as in :func:`to_column`: a run-time size
+    reference for broadcasting scalar conditions.
+    """
     if value.ltype != LogicalType.BOOL:
         raise ExecutionError("filter condition must be boolean")
     tensor = value.tensor
     if value.is_scalar:
-        tensor = ops.logical_and(
-            ops.full((num_rows,), True, dtype="bool", device=tensor.device), tensor
-        )
+        if like is not None:
+            base = ops.full_like_rows(like, True, dtype="bool")
+        else:
+            base = ops.full((num_rows,), True, dtype="bool", device=tensor.device)
+        tensor = ops.logical_and(base, tensor)
     if value.valid is not None:
         tensor = ops.logical_and(tensor, value.valid)
     return tensor
@@ -149,6 +173,15 @@ def evaluate(expr: ast.Expr, table: TensorTable, ctx: EvaluationContext) -> Expr
 
     if isinstance(expr, ast.Literal):
         return _evaluate_literal(expr, ctx)
+
+    if isinstance(expr, ast.ParameterExpr):
+        value = ctx.params.get(expr.name)
+        if value is None:
+            raise ExecutionError(
+                f"no value bound for parameter :{expr.name}; "
+                "bind it before executing"
+            )
+        return value
 
     if isinstance(expr, ast.IntervalLiteral):
         raise UnsupportedOperationError(
@@ -200,10 +233,15 @@ def evaluate(expr: ast.Expr, table: TensorTable, ctx: EvaluationContext) -> Expr
 
     if isinstance(expr, ast.ExistsSubquery):
         result_table = ctx.run_subquery(expr.subplan)
-        exists = result_table.num_rows > 0
-        value = exists if not expr.negated else not exists
-        return ExprValue(ops.tensor(value, dtype="bool", device=ctx.device),
-                         LogicalType.BOOL, True)
+        anchor = result_table.anchor
+        if anchor is None:
+            raise ExecutionError("EXISTS subquery produced no columns")
+        # Computed as a tensor (not a Python bool) so the row count is
+        # re-evaluated when a traced program replays under a new binding.
+        value = ops.gt(ops.row_count(anchor), 0)
+        if expr.negated:
+            value = ops.logical_not(value)
+        return ExprValue(value, LogicalType.BOOL, True)
 
     if isinstance(expr, ast.ScalarSubquery):
         result_table = ctx.run_subquery(expr.subplan)
@@ -231,8 +269,11 @@ def evaluate(expr: ast.Expr, table: TensorTable, ctx: EvaluationContext) -> Expr
     if isinstance(expr, ast.IsNull):
         operand = evaluate(expr.operand, table, ctx)
         if operand.valid is None:
-            value = ops.full((table.num_rows,), expr.negated, dtype="bool",
-                             device=ctx.device)
+            if operand.is_scalar:
+                value = ops.tensor(bool(expr.negated), dtype="bool",
+                                   device=ctx.device)
+                return ExprValue(value, LogicalType.BOOL, True)
+            value = ops.full_like_rows(operand.tensor, expr.negated, dtype="bool")
         else:
             value = ops.logical_not(operand.valid) if not expr.negated else operand.valid
         return ExprValue(value, LogicalType.BOOL, False)
@@ -361,10 +402,18 @@ def _evaluate_case(expr: ast.CaseWhen, table: TensorTable,
     if otype == LogicalType.FLOAT:
         result = ops.cast(result, "float64")
     if valid is not None and not any_scalar and valid.ndim == 0:
-        valid = ops.logical_and(
-            ops.full((table.num_rows,), True, dtype="bool", device=ctx.device),
-            valid,
-        )
+        # ``result`` is per-row whenever the CASE is non-scalar, so it is a
+        # safe run-time size reference for broadcasting the validity mask.
+        anchor = result if result.ndim else table.anchor
+        if anchor is not None and anchor.ndim:
+            valid = ops.logical_and(
+                ops.full_like_rows(anchor, True, dtype="bool"), valid
+            )
+        else:
+            valid = ops.logical_and(
+                ops.full((table.num_rows,), True, dtype="bool", device=ctx.device),
+                valid,
+            )
     return ExprValue(result, otype, any_scalar, valid)
 
 
@@ -385,9 +434,18 @@ def _evaluate_in_list(expr: ast.InList, table: TensorTable,
     if operand.ltype == LogicalType.STRING:
         result = None
         for item in expr.items:
-            if not isinstance(item, ast.Literal):
-                raise UnsupportedOperationError("IN over strings requires literals")
-            this = strings.equals_literal(operand.tensor, str(item.value))
+            if isinstance(item, ast.Literal):
+                this = strings.equals_literal(operand.tensor, str(item.value))
+            else:
+                value = evaluate(item, table, ctx)
+                if not value.is_scalar or value.ltype != LogicalType.STRING:
+                    raise UnsupportedOperationError(
+                        "IN over strings requires string literals or parameters"
+                    )
+                this = strings.equals_columns(
+                    operand.tensor,
+                    ops.reshape(value.tensor, (1, value.tensor.shape[-1])),
+                )
             result = this if result is None else ops.logical_or(result, this)
     else:
         values = [evaluate(item, table, ctx).tensor for item in expr.items]
@@ -412,10 +470,10 @@ def _evaluate_in_subquery(expr: ast.InSubquery, table: TensorTable,
         left = ops.pad2d(operand.tensor, width)
         right = ops.pad2d(column.tensor, width)
         # Compare every row against every subquery value: (n, k, m) equality.
-        n = left.shape[0]
-        k = right.shape[0]
-        left3 = ops.reshape(left, (n, 1, width))
-        right3 = ops.reshape(right, (1, k, width))
+        # The data-dependent extents use -1 so replays under a new parameter
+        # binding recompute them from the actual tensors.
+        left3 = ops.reshape(left, (-1, 1, width))
+        right3 = ops.reshape(right, (1, -1, width))
         matches = ops.all_(ops.eq(left3, right3), axis=2)
         result = ops.any_(matches, axis=1)
     else:
@@ -457,11 +515,12 @@ def _evaluate_scalar_function(expr: ast.FuncCall, table: TensorTable,
         return ExprValue(strings.row_lengths(args[0].tensor), LogicalType.INT,
                          args[0].is_scalar, args[0].valid)
     if name == "coalesce":
-        return _evaluate_coalesce(args, table.num_rows)
+        return _evaluate_coalesce(args, table.num_rows, table.anchor)
     raise UnsupportedOperationError(f"unsupported function {expr.name!r}")
 
 
-def _evaluate_coalesce(args: list[ExprValue], num_rows: int) -> ExprValue:
+def _evaluate_coalesce(args: list[ExprValue], num_rows: int,
+                       anchor: Optional[Tensor] = None) -> ExprValue:
     """COALESCE: per row, the first non-NULL argument (tensorized as a chain
     of validity-masked ``where`` selects)."""
     if not args:
@@ -481,7 +540,7 @@ def _evaluate_coalesce(args: list[ExprValue], num_rows: int) -> ExprValue:
         )
 
     def materialize(value: ExprValue) -> TensorColumn:
-        column = to_column(value, num_rows)
+        column = to_column(value, num_rows, like=anchor)
         if column.ltype != ltype:
             return TensorColumn(ops.cast(column.tensor, "float64"), ltype,
                                 column.valid)
@@ -496,7 +555,7 @@ def _evaluate_coalesce(args: list[ExprValue], num_rows: int) -> ExprValue:
             width = max(column.tensor.shape[1], nxt.tensor.shape[1])
             left_data = ops.pad2d(column.tensor, width)
             right_data = ops.pad2d(nxt.tensor, width)
-            cond = ops.reshape(column.valid, (num_rows, 1))
+            cond = ops.reshape(column.valid, (-1, 1))
         else:
             left_data, right_data = column.tensor, nxt.tensor
             cond = column.valid

@@ -14,7 +14,7 @@ import numpy as np
 from repro.core.columnar import LogicalType, TensorColumn, TensorTable
 from repro.core.expressions import evaluate, to_column
 from repro.core.operators.base import ExecutionContext, TensorOperator
-from repro.core.operators.grouping import combine_ids, factorize_single
+from repro.core.operators.grouping import combine_ids, factorize_single, id_count
 from repro.errors import ExecutionError, UnsupportedOperationError
 from repro.frontend.ast import Expr
 from repro.frontend.logical import AggregateCall
@@ -57,25 +57,36 @@ class HashAggregateOperator(TensorOperator):
     # -- helpers ------------------------------------------------------------
 
     @staticmethod
-    def _group_ids(key_values, num_rows: int, device) -> tuple[Tensor, int]:
+    def _group_ids(key_values, num_rows: int, device,
+                   anchor: "Tensor | None" = None) -> tuple[Tensor, Tensor]:
+        """Densified group ids plus the group count as a 0-d tensor.
+
+        The count stays a tensor (never ``.item()``) so scatter sizes are
+        recomputed at run time when a prepared query is re-executed with a
+        binding that changes how many rows / groups survive the child plan.
+        """
         if not key_values:
-            return ops.zeros((num_rows,), dtype="int64", device=device), 1
+            if anchor is not None:
+                group_ids = ops.full_like_rows(anchor, 0, dtype="int64")
+            else:
+                group_ids = ops.zeros((num_rows,), dtype="int64", device=device)
+            return group_ids, ops.tensor(1, dtype="int64", device=device)
         ids = [factorize_single(value) for value in key_values]
         group_ids = combine_ids(ids)
-        if num_rows == 0:
-            return group_ids, 0
-        num_groups = int(ops.add(ops.max_(group_ids), 1).item())
-        return group_ids, num_groups
+        # id_count is empty-safe (0 groups for 0 rows), so no Python branch on
+        # num_rows may be traced here — it would bake the wrong size into the
+        # program for every other binding.
+        return group_ids, id_count(group_ids)
 
     def _aggregate_column(self, call: AggregateCall, table: TensorTable,
-                          group_ids: Tensor, num_groups: int,
+                          group_ids: Tensor, num_groups: Tensor,
                           ctx: ExecutionContext) -> TensorColumn:
         if call.func == "count" and call.expr is None:
             counts = ops.bincount(group_ids, minlength=num_groups)
             return TensorColumn(ops.cast(counts, "int64"), LogicalType.INT)
 
         value = evaluate(call.expr, table, ctx.eval_ctx)
-        column = to_column(value, table.num_rows)
+        column = to_column(value, table.num_rows, like=table.anchor)
         data = column.tensor
 
         if call.func == "count":
@@ -144,15 +155,13 @@ class HashAggregateOperator(TensorOperator):
 
     @staticmethod
     def _count_distinct(column: TensorColumn, group_ids: Tensor,
-                        num_groups: int) -> Tensor:
+                        num_groups: Tensor) -> Tensor:
         from repro.core.expressions import ExprValue
 
-        if column.tensor.shape[0] == 0:
-            return ops.zeros((num_groups,), dtype="int64", device=group_ids.device)
         value_ids = factorize_single(
             ExprValue(column.tensor, column.ltype, False, column.valid)
         )
-        radix = ops.add(ops.max_(value_ids), 1)
+        radix = id_count(value_ids)
         pair_ids = ops.add(ops.mul(group_ids, radix), value_ids)
         unique_pairs, _, _ = ops.unique(pair_ids)
         pair_groups = ops.floordiv(unique_pairs, radix)
@@ -170,15 +179,16 @@ class HashAggregateOperator(TensorOperator):
         num_rows = table.num_rows
 
         key_values = [evaluate(expr, table, ctx.eval_ctx) for expr in self.group_exprs]
-        group_ids, num_groups = self._group_ids(key_values, num_rows, table.device)
+        group_ids, num_groups = self._group_ids(key_values, num_rows, table.device,
+                                                anchor=table.anchor)
 
         columns: dict[str, TensorColumn] = {}
         if self.group_exprs:
             representatives = ops.scatter_min(
-                group_ids, ops.arange(num_rows, device=group_ids.device), num_groups
+                group_ids, ops.arange_like(group_ids), num_groups
             )
             for value, name in zip(key_values, self.group_names):
-                column = to_column(value, num_rows)
+                column = to_column(value, num_rows, like=table.anchor)
                 columns[name] = column.gather(representatives)
 
         for call in self.aggregates:

@@ -20,5 +20,5 @@ class FilterOperator(TensorOperator):
     def _execute(self, ctx: ExecutionContext) -> TensorTable:
         table = self.children[0].execute(ctx)
         value = evaluate(self.condition, table, ctx.eval_ctx)
-        mask = as_mask(value, table.num_rows)
+        mask = as_mask(value, table.num_rows, like=table.anchor)
         return table.mask(mask)

@@ -24,6 +24,18 @@ def factorize_single(value: ExprValue) -> Tensor:
     return inverse
 
 
+def id_count(ids: Tensor) -> Tensor:
+    """``max(ids) + 1`` as a 0-d int64 tensor, and 0 for an empty input.
+
+    Used for scatter sizes.  Padding with a ``-1`` sentinel before the max
+    keeps the traced op valid when a parameter rebinding empties the input
+    (``np.max`` has no identity on empty arrays).
+    """
+    sentinel = ops.tensor([-1], dtype="int64", device=ids.device)
+    padded = ops.concat([ops.cast(ids, "int64"), sentinel], axis=0)
+    return ops.cast(ops.add(ops.max_(padded), 1), "int64")
+
+
 def factorize_pair(left: ExprValue, right: ExprValue) -> tuple[Tensor, Tensor]:
     """Jointly densify one key column of a join's left and right side.
 
@@ -33,7 +45,6 @@ def factorize_pair(left: ExprValue, right: ExprValue) -> tuple[Tensor, Tensor]:
     """
     if (left.ltype == LogicalType.STRING) != (right.ltype == LogicalType.STRING):
         raise ExecutionError("join key types do not match")
-    n_left = left.tensor.shape[0]
     if left.ltype == LogicalType.STRING:
         width = max(left.tensor.shape[1], right.tensor.shape[1])
         both = ops.concat([ops.pad2d(left.tensor, width),
@@ -47,8 +58,9 @@ def factorize_pair(left: ExprValue, right: ExprValue) -> tuple[Tensor, Tensor]:
         both = ops.concat([ops.cast(left.tensor, target),
                            ops.cast(right.tensor, target)], axis=0)
         _, ids, _ = ops.unique(both)
-    left_ids = ops.narrow(ids, 0, 0, n_left)
-    right_ids = ops.narrow(ids, 0, n_left, ids.shape[0] - n_left)
+    # The split point is read from the left side's row count at run time so a
+    # parameter rebinding that changes either input's size replays correctly.
+    left_ids, right_ids = ops.split_rows(ids, left.tensor)
     return left_ids, right_ids
 
 
@@ -57,10 +69,8 @@ def combine_ids(id_columns: list[Tensor]) -> Tensor:
     if not id_columns:
         raise ExecutionError("combine_ids() requires at least one id column")
     combined = id_columns[0]
-    if combined.shape[0] == 0:
-        return combined
     for ids in id_columns[1:]:
-        radix = ops.add(ops.max_(ids), 1)
+        radix = id_count(ids)
         mixed = ops.add(ops.mul(combined, radix), ids)
         _, combined, _ = ops.unique(mixed)
     return combined
@@ -83,6 +93,6 @@ def group_table(id_columns: list[Tensor], num_rows: int) -> tuple[Tensor, int, T
     else:
         num_groups = 1
     representatives = ops.scatter_min(
-        group_ids, ops.arange(num_rows, device=group_ids.device), num_groups
+        group_ids, ops.arange_like(group_ids), num_groups
     )
     return group_ids, num_groups, representatives

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
 
 from repro.core.columnar import LogicalType, TensorColumn, TensorTable
 from repro.core.expressions import as_mask, evaluate
@@ -51,9 +50,26 @@ def concat_tables(first: TensorTable, second: TensorTable) -> TensorTable:
     return TensorTable(columns)
 
 
-def _null_column_like(column: TensorColumn, num_rows: int) -> TensorColumn:
-    """An all-NULL column with the same type/width as ``column``."""
+def _null_column_like(column: TensorColumn, num_rows: int,
+                      anchor: "Tensor | None" = None) -> TensorColumn:
+    """An all-NULL column with the same type/width as ``column``.
+
+    ``anchor`` is a per-row tensor of the target table; when given, sizes are
+    derived from it at run time instead of baking ``num_rows`` into the trace.
+    """
     device = column.device
+    if anchor is not None:
+        if column.ltype == LogicalType.STRING:
+            data = ops.full_like_rows(anchor, 0, dtype="int32",
+                                      width=column.tensor.shape[1])
+        elif column.ltype == LogicalType.FLOAT:
+            data = ops.full_like_rows(anchor, 0, dtype="float64")
+        elif column.ltype == LogicalType.BOOL:
+            data = ops.full_like_rows(anchor, False, dtype="bool")
+        else:
+            data = ops.full_like_rows(anchor, 0, dtype="int64")
+        valid = ops.full_like_rows(anchor, False, dtype="bool")
+        return TensorColumn(data, column.ltype, valid)
     if column.ltype == LogicalType.STRING:
         data = ops.zeros((num_rows, column.tensor.shape[1]), dtype="int32", device=device)
     elif column.ltype == LogicalType.FLOAT:
@@ -96,14 +112,12 @@ class HashJoinOperator(TensorOperator):
             lid, rid = factorize_pair(left_value, right_value)
             left_ids.append(lid)
             right_ids.append(rid)
-        n_left = left_table.num_rows
-        n_right = right_table.num_rows
         if len(left_ids) == 1:
             return left_ids[0], right_ids[0]
         both = [ops.concat([l, r], axis=0) for l, r in zip(left_ids, right_ids)]
         combined = combine_ids(both)
-        return (ops.narrow(combined, 0, 0, n_left),
-                ops.narrow(combined, 0, n_left, n_right))
+        head, tail = ops.split_rows(combined, left_ids[0])
+        return head, tail
 
     # -- matching -----------------------------------------------------------
 
@@ -116,7 +130,6 @@ class HashJoinOperator(TensorOperator):
         The partitioned parallel variant overrides this with a radix-partition
         build/probe; everything downstream (:meth:`_finish`) is shared.
         """
-        n_left = left_ids.shape[0]
         order = ops.argsort(right_ids)
         sorted_right = ops.take(right_ids, order)
         start = ops.searchsorted(sorted_right, left_ids, side="left")
@@ -125,11 +138,13 @@ class HashJoinOperator(TensorOperator):
         if not need_pairs:
             return counts, None
 
-        total = int(ops.sum_(counts).item())
+        # All extents below are tensors so the flattening replays correctly
+        # when a rebound parameter changes the match counts.
+        total = ops.sum_(counts)
         offsets = ops.sub(ops.cumsum(counts), counts)
-        row_index = ops.arange(n_left, device=left_ids.device)
+        row_index = ops.arange_like(left_ids)
         pair_left = ops.repeat(row_index, counts)
-        within = ops.sub(ops.arange(total, device=left_ids.device),
+        within = ops.sub(ops.arange_until(total),
                          ops.repeat(offsets, counts))
         pair_right_sorted = ops.add(ops.repeat(start, counts), within)
         pair_right = ops.take(order, pair_right_sorted)
@@ -148,7 +163,8 @@ class HashJoinOperator(TensorOperator):
     def _finish(self, left_table: TensorTable, right_table: TensorTable,
                 counts: Tensor, pairs: Optional[tuple[Tensor, Tensor]],
                 ctx: ExecutionContext) -> TensorTable:
-        n_left = left_table.num_rows
+        n_left = ops.row_count(left_table.anchor) if left_table.anchor is not None \
+            else left_table.num_rows
 
         if pairs is None:  # semi/anti without residual: counts are enough
             matched = ops.gt(counts, 0)
@@ -163,7 +179,8 @@ class HashJoinOperator(TensorOperator):
         residual_mask: Optional[Tensor] = None
         if self.residual is not None:
             residual_value = evaluate(self.residual, combined, ctx.eval_ctx)
-            residual_mask = as_mask(residual_value, combined.num_rows)
+            residual_mask = as_mask(residual_value, combined.num_rows,
+                                    like=combined.anchor)
 
         if self.kind == "inner":
             return combined.mask(residual_mask) if residual_mask is not None else combined
@@ -179,17 +196,14 @@ class HashJoinOperator(TensorOperator):
         if residual_mask is not None:
             combined = combined.mask(residual_mask)
             pair_left = ops.boolean_mask(pair_left, residual_mask)
-        if pair_left.shape[0] > 0:
-            hits = ops.scatter_add(pair_left,
-                                   ops.full((pair_left.shape[0],), 1, dtype="int64",
-                                            device=pair_left.device),
-                                   size=n_left)
-        else:
-            hits = ops.zeros((n_left,), dtype="int64", device=left_table.device)
+        hits = ops.scatter_add(pair_left,
+                               ops.full_like_rows(pair_left, 1, dtype="int64"),
+                               size=n_left)
         unmatched = ops.eq(hits, 0)
         left_unmatched = left_table.mask(unmatched)
         null_right = TensorTable({
-            name: _null_column_like(column, left_unmatched.num_rows)
+            name: _null_column_like(column, left_unmatched.num_rows,
+                                    anchor=left_unmatched.anchor)
             for name, column in right_table.columns()
         })
         padded = merge_tables(left_unmatched, null_right)
@@ -215,26 +229,34 @@ class NestedLoopJoinOperator(TensorOperator):
     def _execute(self, ctx: ExecutionContext) -> TensorTable:
         left_table = self.children[0].execute(ctx)
         right_table = self.children[1].execute(ctx)
-        n_left, n_right = left_table.num_rows, right_table.num_rows
+        left_anchor, right_anchor = left_table.anchor, right_table.anchor
+        if left_anchor is None or right_anchor is None:
+            raise ExecutionError("nested-loop join requires materialized inputs")
 
-        device = left_table.device
-        pair_left = ops.repeat(ops.arange(n_left, device=device),
-                               ops.full((n_left,), n_right, dtype="int64", device=device))
-        pair_right = ops.mod(ops.arange(n_left * n_right, device=device), max(n_right, 1))
+        # The cross-product index arithmetic is built from run-time extents so
+        # a rebound parameter that changes either input's size replays
+        # correctly on the graph backends.
+        n_left_t = ops.row_count(left_anchor)
+        n_right_t = ops.row_count(right_anchor)
+        pair_left = ops.repeat(
+            ops.arange_like(left_anchor),
+            ops.mul(ops.full_like_rows(left_anchor, 1, dtype="int64"), n_right_t))
+        pair_right = ops.mod(ops.arange_until(ops.mul(n_left_t, n_right_t)),
+                             ops.maximum(n_right_t, 1))
         combined = merge_tables(left_table.gather(pair_left),
                                 right_table.gather(pair_right))
 
         mask: Optional[Tensor] = None
         if self.condition is not None:
             value = evaluate(self.condition, combined, ctx.eval_ctx)
-            mask = as_mask(value, combined.num_rows)
+            mask = as_mask(value, combined.num_rows, like=combined.anchor)
 
         if self.kind in ("inner", "cross"):
             return combined.mask(mask) if mask is not None else combined
 
         if mask is None:
-            mask = ops.full((combined.num_rows,), True, dtype="bool", device=device)
-        hits = ops.scatter_add(pair_left, ops.cast(mask, "int64"), size=n_left)
+            mask = ops.full_like_rows(pair_left, True, dtype="bool")
+        hits = ops.scatter_add(pair_left, ops.cast(mask, "int64"), size=n_left_t)
         matched = ops.gt(hits, 0)
         if self.kind == "anti":
             matched = ops.logical_not(matched)

@@ -5,7 +5,7 @@ from __future__ import annotations
 from repro.core.columnar import TensorTable
 from repro.core.expressions import ExprValue
 from repro.core.operators.base import ExecutionContext, TensorOperator
-from repro.core.operators.grouping import combine_ids, factorize_single
+from repro.core.operators.grouping import combine_ids, factorize_single, id_count
 from repro.errors import ExecutionError
 from repro.frontend.logical import Field
 from repro.tensor import ops
@@ -25,8 +25,13 @@ class LimitOperator(TensorOperator):
 
     def _execute(self, ctx: ExecutionContext) -> TensorTable:
         table = self.children[0].execute(ctx)
-        keep = min(self.count, table.num_rows)
-        return table.gather(ops.arange(keep, device=table.device))
+        anchor = table.anchor
+        if anchor is None:
+            return table
+        # min(count, num_rows) computed at run time so the traced program
+        # keeps the right number of rows under a new parameter binding.
+        keep = ops.minimum(ops.row_count(anchor), self.count)
+        return table.gather(ops.arange_until(keep))
 
 
 class DistinctOperator(TensorOperator):
@@ -39,16 +44,14 @@ class DistinctOperator(TensorOperator):
 
     def _execute(self, ctx: ExecutionContext) -> TensorTable:
         table = self.children[0].execute(ctx)
-        if table.num_rows == 0:
-            return table
         id_columns = []
         for _, column in table.columns():
             value = ExprValue(column.tensor, column.ltype, False, column.valid)
             id_columns.append(factorize_single(value))
         group_ids = combine_ids(id_columns)
-        num_groups = int(ops.add(ops.max_(group_ids), 1).item())
+        num_groups = id_count(group_ids)
         representatives = ops.scatter_min(
-            group_ids, ops.arange(table.num_rows, device=group_ids.device), num_groups
+            group_ids, ops.arange_like(group_ids), num_groups
         )
         return table.gather(representatives)
 

@@ -311,7 +311,7 @@ class MorselFilterOperator(MorselMapOperator, FilterOperator):
 
     def _apply_morsel(self, sub: TensorTable, ctx: ExecutionContext) -> TensorTable:
         value = evaluate(self.condition, sub, ctx.eval_ctx)
-        return sub.mask(as_mask(value, sub.num_rows))
+        return sub.mask(as_mask(value, sub.num_rows, like=sub.anchor))
 
 
 class MorselProjectOperator(MorselMapOperator, ProjectOperator):
@@ -333,7 +333,7 @@ class MorselProjectOperator(MorselMapOperator, ProjectOperator):
         columns = {}
         for expr, name in zip(self.exprs, self.names):
             value = evaluate(expr, sub, ctx.eval_ctx)
-            columns[name] = to_column(value, sub.num_rows)
+            columns[name] = to_column(value, sub.num_rows, like=sub.anchor)
         return TensorTable(columns)
 
 
@@ -457,15 +457,17 @@ class ParallelHashAggregateOperator(HashAggregateOperator):
     def _partial_table(self, sub: TensorTable, ctx: ExecutionContext) -> TensorTable:
         num_rows = sub.num_rows
         key_values = [evaluate(expr, sub, ctx.eval_ctx) for expr in self.group_exprs]
-        group_ids, num_groups = self._group_ids(key_values, num_rows, sub.device)
+        group_ids, num_groups = self._group_ids(key_values, num_rows, sub.device,
+                                                anchor=sub.anchor)
 
         columns: dict[str, TensorColumn] = {}
         if self.group_exprs:
             representatives = ops.scatter_min(
-                group_ids, ops.arange(num_rows, device=group_ids.device), num_groups
+                group_ids, ops.arange_like(group_ids), num_groups
             )
             for value, name in zip(key_values, self.group_names):
-                columns[name] = to_column(value, num_rows).gather(representatives)
+                columns[name] = to_column(value, num_rows,
+                                          like=sub.anchor).gather(representatives)
         for index, call in enumerate(self.aggregates):
             columns.update(
                 self._partial_columns(index, call, sub, group_ids, num_groups, ctx)
@@ -473,7 +475,7 @@ class ParallelHashAggregateOperator(HashAggregateOperator):
         return TensorTable(columns)
 
     def _partial_columns(self, index: int, call: AggregateCall, table: TensorTable,
-                         group_ids: Tensor, num_groups: int,
+                         group_ids: Tensor, num_groups: Tensor,
                          ctx: ExecutionContext) -> dict[str, TensorColumn]:
         """One morsel's decomposed aggregate state.
 
@@ -490,7 +492,7 @@ class ParallelHashAggregateOperator(HashAggregateOperator):
                     TensorColumn(ops.cast(counts, "int64"), LogicalType.INT)}
 
         value = evaluate(call.expr, table, ctx.eval_ctx)
-        column = to_column(value, table.num_rows)
+        column = to_column(value, table.num_rows, like=table.anchor)
         data = column.tensor
         if column.valid is not None:
             populated = ops.scatter_add(group_ids, ops.cast(column.valid, "int64"),
@@ -540,12 +542,13 @@ class ParallelHashAggregateOperator(HashAggregateOperator):
             ExprValue(column.tensor, column.ltype, False, column.valid)
             for column in (merged.column(name) for name in self.group_names)
         ]
-        group_ids, num_groups = self._group_ids(key_values, num_rows, merged.device)
+        group_ids, num_groups = self._group_ids(key_values, num_rows, merged.device,
+                                                anchor=merged.anchor)
 
         columns: dict[str, TensorColumn] = {}
         if self.group_exprs:
             representatives = ops.scatter_min(
-                group_ids, ops.arange(num_rows, device=group_ids.device), num_groups
+                group_ids, ops.arange_like(group_ids), num_groups
             )
             for name in self.group_names:
                 columns[name] = merged.column(name).gather(representatives)
@@ -557,7 +560,7 @@ class ParallelHashAggregateOperator(HashAggregateOperator):
         return TensorTable(columns)
 
     def _merge_column(self, index: int, call: AggregateCall, merged: TensorTable,
-                      group_ids: Tensor, num_groups: int) -> TensorColumn:
+                      group_ids: Tensor, num_groups: Tensor) -> TensorColumn:
         prefix = f"__p{index}"
         if call.func == "count":
             counts = ops.scatter_add(group_ids,

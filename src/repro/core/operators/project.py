@@ -25,7 +25,7 @@ class ProjectOperator(TensorOperator):
         columns = {}
         for expr, name in zip(self.exprs, self.names):
             value = evaluate(expr, table, ctx.eval_ctx)
-            columns[name] = to_column(value, table.num_rows)
+            columns[name] = to_column(value, table.num_rows, like=table.anchor)
         return TensorTable(columns)
 
     def describe(self) -> str:

@@ -32,7 +32,7 @@ class SortOperator(TensorOperator):
         subkeys: list[Tensor] = []
         for expr, ascending in self.keys:
             value = evaluate(expr, table, ctx.eval_ctx)
-            column = to_column(value, table.num_rows)
+            column = to_column(value, table.num_rows, like=table.anchor)
             if column.ltype == LogicalType.STRING:
                 codes = column.tensor
                 for char_index in range(codes.shape[1]):
@@ -47,7 +47,7 @@ class SortOperator(TensorOperator):
 
     def _execute(self, ctx: ExecutionContext) -> TensorTable:
         table = self.children[0].execute(ctx)
-        if table.num_rows == 0 or not self.keys:
+        if not self.keys:
             return table
         subkeys = self._key_tensors(table, ctx)
         if not subkeys:

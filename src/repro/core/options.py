@@ -1,0 +1,96 @@
+"""ExecutionOptions: one object for every compile/execute knob.
+
+The session API used to take a sprawl of ``backend=`` / ``device=`` /
+``optimize=`` / ``use_cache=`` / ``parallelism=`` keyword arguments on every
+call.  They are now collapsed into a single frozen dataclass that is threaded
+through :class:`~repro.core.session.TQPSession`,
+:meth:`~repro.core.session.TQPSession.compile`, the
+:class:`~repro.core.executor.Executor`, and the plan-cache key.  The old
+keyword arguments keep working through a deprecation shim (see
+:func:`merge_legacy_kwargs`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from typing import Any, Optional
+
+from repro.tensor.device import Device, parse_device
+
+
+@dataclasses.dataclass(frozen=True)
+class ExecutionOptions:
+    """Compilation/execution settings for one query (or a whole session).
+
+    Every field has an "inherit" default (``None`` or the common case), so a
+    partially specified instance can be resolved against session defaults
+    with :meth:`resolved`.
+
+    Attributes:
+        backend: ``pytorch`` (eager), ``torchscript``, ``onnx``,
+            ``torchscript-noopt`` — ``None`` inherits the session default.
+        device: ``cpu``, ``cuda`` (simulated) or ``wasm`` (simulated) —
+            ``None`` inherits the session default.
+        optimize: apply the frontend/IR optimizer rules.
+        use_cache: serve repeated compilations from the session plan cache.
+        parallelism: worker lanes for the morsel-driven parallel operators —
+            ``None`` inherits the session default.
+        auto_parameterize: lift literals out of ad-hoc ``sql()`` calls into
+            bind parameters, so queries differing only in constants share one
+            compiled plan (opt-in; see ``repro.core.parameters``).
+    """
+
+    backend: Optional[str] = None
+    device: Device | str | None = None
+    optimize: bool = True
+    use_cache: bool = True
+    parallelism: Optional[int] = None
+    auto_parameterize: bool = False
+
+    def resolved(self, default_backend: str, default_device: Device | str,
+                 default_parallelism: int = 1) -> "ExecutionOptions":
+        """A fully concrete copy: every ``None`` replaced by the default."""
+        return dataclasses.replace(
+            self,
+            backend=self.backend or default_backend,
+            device=parse_device(self.device if self.device is not None
+                                else default_device),
+            parallelism=(default_parallelism if self.parallelism is None
+                         else max(1, int(self.parallelism))),
+        )
+
+    def replace(self, **changes: Any) -> "ExecutionOptions":
+        return dataclasses.replace(self, **changes)
+
+    def cache_key(self) -> tuple:
+        """The options' contribution to the session plan-cache key."""
+        return (self.backend, str(self.device), self.optimize, self.parallelism)
+
+
+#: Legacy keyword arguments accepted (deprecated) by the session entry points.
+_LEGACY_KWARGS = ("backend", "device", "optimize", "use_cache", "parallelism")
+
+
+def merge_legacy_kwargs(options: Optional[ExecutionOptions],
+                        stacklevel: int = 3,
+                        **legacy: Any) -> ExecutionOptions:
+    """Back-compat shim: fold old-style keyword arguments into options.
+
+    Given values win over the corresponding field of ``options`` and emit a
+    :class:`DeprecationWarning` steering callers to ``ExecutionOptions``.
+    Unknown keys raise ``TypeError`` like a normal bad keyword would.
+    """
+    supplied = {key: value for key, value in legacy.items() if value is not None}
+    unknown = set(supplied) - set(_LEGACY_KWARGS)
+    if unknown:
+        raise TypeError(f"unknown keyword argument(s): {', '.join(sorted(unknown))}")
+    base = options or ExecutionOptions()
+    if not supplied:
+        return base
+    warnings.warn(
+        "passing backend=/device=/optimize=/use_cache=/parallelism= directly "
+        "is deprecated; pass options=ExecutionOptions(...) instead",
+        DeprecationWarning, stacklevel=stacklevel,
+    )
+    return dataclasses.replace(base, **supplied)

@@ -4,9 +4,16 @@ Compiling a query (parse → analyze → optimize → plan → build executor, p
 the trace on first graph execution) costs orders of magnitude more than
 replaying the compiled artifact.  Under repeated-query traffic — the regime
 the ROADMAP targets — a session therefore keeps an LRU cache of
-:class:`~repro.core.session.CompiledQuery` objects keyed by
+:class:`~repro.core.session.CompiledQuery` objects keyed by the
+**parameterized shape** of the statement:
 
-``(normalized SQL, backend, device, optimize flag, parallelism)``
+``(normalized SQL with parameter markers, ExecutionOptions.cache_key(),
+parameter-type hints)``
+
+Bind-parameter markers are part of the SQL text, so every binding of a
+prepared statement — and, with auto-parameterization, every ad-hoc query
+differing only in literals — maps to one entry (a true *statement cache*,
+not an exact-text memo).
 
 Staleness is handled per entry rather than in the key: each cached plan
 carries the schema fingerprint — ``(table, version)`` pairs — of the tables

@@ -24,6 +24,7 @@ from repro.core.operators import (
     MorselFilterOperator,
     MorselProjectOperator,
     MorselScanOperator,
+    MorselSource,
     NestedLoopJoinOperator,
     ParallelHashAggregateOperator,
     PartitionedHashJoinOperator,
@@ -35,6 +36,7 @@ from repro.core.operators import (
     aggregates_are_mergeable,
     exprs_are_morsel_safe,
 )
+from repro.core.parameters import ParameterSpec
 from repro.errors import PlanningError
 from repro.frontend import ast
 from repro.frontend.logical import Field
@@ -49,11 +51,19 @@ class OperatorPlan:
         scans: every scan in the plan, including those inside runtime-evaluated
             subqueries (the executor uses this to prepare input tensors).
         output_fields: the plan's output schema.
+        params: bind parameters referenced anywhere in the plan (including
+            runtime subqueries), in lexical order — the contract the executor
+            validates every binding against.
+        model_names: ML models referenced by ``PREDICT`` calls; the session's
+            plan cache uses this to invalidate only the plans that actually
+            depend on a re-registered model.
     """
 
     root: TensorOperator
     scans: list[ScanOperator]
     output_fields: list[Field]
+    params: list[ParameterSpec] = dataclasses.field(default_factory=list)
+    model_names: frozenset[str] = frozenset()
 
 
 def ir_node_expressions(node: ir.IRNode) -> list[ast.Expr]:
@@ -79,6 +89,34 @@ def ir_node_expressions(node: ir.IRNode) -> list[ast.Expr]:
     return []
 
 
+def _expr_contains_params(expr: ast.Expr) -> bool:
+    for sub in ast.walk_expr(expr):
+        if isinstance(sub, ast.ParameterExpr):
+            return True
+        subplan = getattr(sub, "subplan", None)
+        if subplan is not None and _physical_contains_params(subplan):
+            return True
+    return False
+
+
+def _physical_contains_params(plan) -> bool:
+    """Scan a physical plan (a runtime-subquery subplan) for parameters."""
+    from repro.frontend.optimizer import node_expressions_physical
+    from repro.frontend.physical import walk_physical
+
+    return any(_expr_contains_params(expr)
+               for node in walk_physical(plan)
+               for expr in node_expressions_physical(node))
+
+
+def ir_contains_params(root: ir.IRNode) -> bool:
+    """True when any expression of the IR tree (or an embedded runtime
+    subquery) references a bind parameter."""
+    return any(_expr_contains_params(expr)
+               for node in root.walk()
+               for expr in ir_node_expressions(node))
+
+
 class Planner:
     """Maps each IR operator to its tensor-program implementation.
 
@@ -102,10 +140,40 @@ class Planner:
         self.morsel_rows = morsel_rows
         self.use_threads = use_threads
         self._row_estimates: dict[int, int] = {}
+        self._params: dict[str, ParameterSpec] = {}
+        self._model_names: set[str] = set()
+        self._contains_params = False
 
     def plan(self, root: ir.IRNode) -> OperatorPlan:
+        # Pre-scan for bind parameters: parameterized plans restrict the
+        # parallel-operator choice to the morsel pipelines whose traced form
+        # replays correctly when a rebinding changes intermediate sizes (the
+        # radix-partitioned join bakes its partition layout into the trace).
+        self._contains_params = ir_contains_params(root)
         operator_root = self._plan_node(root)
-        return OperatorPlan(operator_root, self._scans, list(root.fields))
+        params = sorted(self._params.values(), key=lambda spec: spec.position)
+        return OperatorPlan(operator_root, self._scans, list(root.fields),
+                            params=params,
+                            model_names=frozenset(self._model_names))
+
+    # -- parameter / model collection ---------------------------------------
+
+    def _collect_expr_metadata(self, node: ir.IRNode) -> None:
+        for expr in ir_node_expressions(node):
+            for sub in ast.walk_expr(expr):
+                if isinstance(sub, ast.ParameterExpr):
+                    if sub.otype is None:
+                        raise PlanningError(
+                            f"parameter :{sub.name} reached planning without "
+                            "an inferred type"
+                        )
+                    existing = self._params.get(sub.name)
+                    if existing is None or sub.position < existing.position:
+                        self._params[sub.name] = ParameterSpec(
+                            name=sub.name, ltype=sub.otype,
+                            position=sub.position, positional=sub.positional)
+                elif isinstance(sub, ast.PredictExpr):
+                    self._model_names.add(sub.model_name)
 
     # -- cardinality estimation --------------------------------------------
 
@@ -129,10 +197,21 @@ class Planner:
                 and max((self._estimate_rows(node) for node in input_nodes),
                         default=0) >= PARALLEL_THRESHOLD_ROWS)
 
+    def _morsel_chain_ok(self, child_op: TensorOperator) -> bool:
+        """May a morsel operator be stacked on ``child_op`` in this plan?
+
+        Without parameters: always (the non-morsel fallback materializes and
+        re-partitions).  With parameters the re-partitioning path would bake
+        a parameter-dependent layout into the trace, so morsel operators are
+        only stacked on an unbroken morsel chain rooted at a base-table scan.
+        """
+        return not self._contains_params or isinstance(child_op, MorselSource)
+
     # -- node translation --------------------------------------------------
 
     def _plan_node(self, node: ir.IRNode) -> TensorOperator:
         self._plan_embedded_subqueries(node)
+        self._collect_expr_metadata(node)
         attrs = node.attrs
 
         if node.op == ir.SCAN:
@@ -147,25 +226,32 @@ class Planner:
         if node.op == ir.FILTER:
             if (self._parallel_ok(node.children[0])
                     and exprs_are_morsel_safe([attrs["condition"]])):
-                return MorselFilterOperator(
-                    self._plan_node(node.children[0]), attrs["condition"],
-                    parallelism=self.parallelism, morsel_rows=self.morsel_rows,
-                    use_threads=self.use_threads)
+                child_op = self._plan_node(node.children[0])
+                if self._morsel_chain_ok(child_op):
+                    return MorselFilterOperator(
+                        child_op, attrs["condition"],
+                        parallelism=self.parallelism, morsel_rows=self.morsel_rows,
+                        use_threads=self.use_threads)
+                return FilterOperator(child_op, attrs["condition"])
             return FilterOperator(self._plan_node(node.children[0]), attrs["condition"])
         if node.op == ir.PROJECT:
             if (self._parallel_ok(node.children[0])
                     and exprs_are_morsel_safe(attrs["exprs"])):
-                return MorselProjectOperator(
-                    self._plan_node(node.children[0]), attrs["exprs"],
-                    attrs["names"], attrs["types"],
-                    parallelism=self.parallelism, morsel_rows=self.morsel_rows,
-                    use_threads=self.use_threads)
+                child_op = self._plan_node(node.children[0])
+                if self._morsel_chain_ok(child_op):
+                    return MorselProjectOperator(
+                        child_op, attrs["exprs"], attrs["names"], attrs["types"],
+                        parallelism=self.parallelism, morsel_rows=self.morsel_rows,
+                        use_threads=self.use_threads)
+                return ProjectOperator(child_op, attrs["exprs"],
+                                       attrs["names"], attrs["types"])
             return ProjectOperator(self._plan_node(node.children[0]), attrs["exprs"],
                                    attrs["names"], attrs["types"])
         if node.op == ir.HASH_JOIN:
             join_exprs = (list(attrs["left_keys"]) + list(attrs["right_keys"])
                           + [attrs.get("residual")])
             if (self._parallel_ok(node.children[0], node.children[1])
+                    and not self._contains_params
                     and exprs_are_morsel_safe(join_exprs)):
                 return PartitionedHashJoinOperator(
                     self._plan_node(node.children[0]),
@@ -187,12 +273,19 @@ class Planner:
             if (self._parallel_ok(node.children[0])
                     and aggregates_are_mergeable(attrs["aggregates"])
                     and exprs_are_morsel_safe(agg_exprs)):
-                return ParallelHashAggregateOperator(
-                    self._plan_node(node.children[0]),
-                    attrs["group_exprs"], attrs["group_names"],
-                    attrs["group_types"], attrs["aggregates"],
-                    parallelism=self.parallelism, morsel_rows=self.morsel_rows,
-                    use_threads=self.use_threads)
+                child_op = self._plan_node(node.children[0])
+                if self._morsel_chain_ok(child_op):
+                    return ParallelHashAggregateOperator(
+                        child_op,
+                        attrs["group_exprs"], attrs["group_names"],
+                        attrs["group_types"], attrs["aggregates"],
+                        parallelism=self.parallelism, morsel_rows=self.morsel_rows,
+                        use_threads=self.use_threads)
+                return HashAggregateOperator(child_op,
+                                             attrs["group_exprs"],
+                                             attrs["group_names"],
+                                             attrs["group_types"],
+                                             attrs["aggregates"])
             return HashAggregateOperator(self._plan_node(node.children[0]),
                                          attrs["group_exprs"], attrs["group_names"],
                                          attrs["group_types"], attrs["aggregates"])

@@ -27,7 +27,7 @@ def equals_literal(codes: Tensor, value: str) -> Tensor:
     """``column = 'literal'`` over a padded string tensor."""
     width = codes.shape[1]
     if len(value) > width:
-        return ops.full((codes.shape[0],), False, dtype="bool", device=codes.device)
+        return ops.full_like_rows(codes, False, dtype="bool")
     literal = _literal_tensor(value, width, codes.device)
     return ops.all_(ops.eq(codes, literal), axis=1)
 
@@ -43,9 +43,9 @@ def equals_columns(left: Tensor, right: Tensor) -> Tensor:
 def starts_with(codes: Tensor, prefix: str) -> Tensor:
     width = codes.shape[1]
     if len(prefix) > width:
-        return ops.full((codes.shape[0],), False, dtype="bool", device=codes.device)
+        return ops.full_like_rows(codes, False, dtype="bool")
     if not prefix:
-        return ops.full((codes.shape[0],), True, dtype="bool", device=codes.device)
+        return ops.full_like_rows(codes, True, dtype="bool")
     head = ops.narrow(codes, 1, 0, len(prefix))
     literal = _literal_tensor(prefix, len(prefix), codes.device)
     return ops.all_(ops.eq(head, literal), axis=1)
@@ -61,25 +61,24 @@ def _window_matches(codes: Tensor, needle: str) -> Tensor:
 def contains(codes: Tensor, needle: str) -> Tensor:
     """``LIKE '%needle%'``."""
     if not needle:
-        return ops.full((codes.shape[0],), True, dtype="bool", device=codes.device)
+        return ops.full_like_rows(codes, True, dtype="bool")
     if len(needle) > codes.shape[1]:
-        return ops.full((codes.shape[0],), False, dtype="bool", device=codes.device)
+        return ops.full_like_rows(codes, False, dtype="bool")
     return ops.any_(_window_matches(codes, needle), axis=1)
 
 
 def ends_with(codes: Tensor, suffix: str) -> Tensor:
     """``LIKE '%suffix'`` — the match must end exactly at the row length."""
     if not suffix:
-        return ops.full((codes.shape[0],), True, dtype="bool", device=codes.device)
+        return ops.full_like_rows(codes, True, dtype="bool")
     if len(suffix) > codes.shape[1]:
-        return ops.full((codes.shape[0],), False, dtype="bool", device=codes.device)
+        return ops.full_like_rows(codes, False, dtype="bool")
     matches = _window_matches(codes, suffix)
     lengths = row_lengths(codes)
     expected_position = ops.sub(lengths, len(suffix))
-    n_positions = matches.shape[1]
-    position_index = ops.arange(n_positions, device=codes.device)
-    at_expected = ops.eq(ops.reshape(position_index, (1, n_positions)),
-                         ops.reshape(expected_position, (codes.shape[0], 1)))
+    position_index = ops.arange_like(matches, axis=1)
+    at_expected = ops.eq(ops.reshape(position_index, (1, -1)),
+                         ops.reshape(expected_position, (-1, 1)))
     return ops.any_(ops.logical_and(matches, at_expected), axis=1)
 
 
@@ -93,30 +92,26 @@ def like(codes: Tensor, pattern: str) -> Tensor:
     """
     if "_" in pattern:
         raise UnsupportedOperationError("LIKE with '_' wildcards is not supported")
-    n = codes.shape[0]
-    device = codes.device
     if "%" not in pattern:
         return equals_literal(codes, pattern)
     segments = pattern.split("%")
     leading, trailing = segments[0], segments[-1]
     middle = [s for s in segments[1:-1] if s]
 
-    result = ops.full((n,), True, dtype="bool", device=device)
-    cursor = ops.full((n,), 0, dtype="int64", device=device)
+    result = ops.full_like_rows(codes, True, dtype="bool")
+    cursor = ops.full_like_rows(codes, 0, dtype="int64")
 
     if leading:
         result = ops.logical_and(result, starts_with(codes, leading))
-        cursor = ops.full((n,), len(leading), dtype="int64", device=device)
+        cursor = ops.full_like_rows(codes, len(leading), dtype="int64")
 
     big = codes.shape[1] + 1
     for segment in middle:
         if len(segment) > codes.shape[1]:
-            return ops.full((n,), False, dtype="bool", device=device)
+            return ops.full_like_rows(codes, False, dtype="bool")
         matches = _window_matches(codes, segment)
-        n_positions = matches.shape[1]
-        position_index = ops.reshape(ops.arange(n_positions, device=device),
-                                     (1, n_positions))
-        allowed = ops.ge(position_index, ops.reshape(cursor, (n, 1)))
+        position_index = ops.reshape(ops.arange_like(matches, axis=1), (1, -1))
+        allowed = ops.ge(position_index, ops.reshape(cursor, (-1, 1)))
         usable = ops.logical_and(matches, allowed)
         # Earliest usable match position per row (``big`` when there is none).
         candidate = ops.where(usable, position_index, big)
@@ -146,7 +141,7 @@ def substring(codes: Tensor, start: int, length: int | None) -> Tensor:
         length = width - begin
     length = max(0, min(length, width - begin))
     if length == 0:
-        return ops.zeros((codes.shape[0], 1), dtype="int32", device=codes.device)
+        return ops.full_like_rows(codes, 0, dtype="int32", width=1)
     return ops.narrow(codes, 1, begin, length)
 
 
@@ -156,22 +151,23 @@ def dense_rank(codes: Tensor) -> Tensor:
     Implemented with sort + neighbour-comparison + prefix sum so it stays in
     the tensor op vocabulary (no Python loops over rows).
     """
-    n, width = codes.shape
-    if n == 0:
-        return ops.zeros((0,), dtype="int64", device=codes.device)
+    _, width = codes.shape
     # numpy lexsort treats the *last* key as primary: pass columns reversed.
     keys = [ops.slice_(codes, (slice(None), col)) for col in range(width - 1, -1, -1)]
     order = ops.lexsort(keys)
     sorted_codes = ops.take(codes, order, axis=0)
-    head = ops.narrow(sorted_codes, 0, 0, n - 1) if n > 1 else None
-    if head is None:
-        boundaries = ops.zeros((0,), dtype="bool", device=codes.device)
-    else:
-        tail = ops.narrow(sorted_codes, 0, 1, n - 1)
-        boundaries = ops.any_(ops.ne(head, tail), axis=1)
-    group_of_sorted = ops.concat(
-        [ops.zeros((1,), dtype="int64", device=codes.device),
-         ops.cumsum(ops.cast(boundaries, "int64"))]
-    )
-    ranks = ops.scatter_add(order, group_of_sorted, size=n)
+    # Everything below is expressed without Python branches on the row count,
+    # so a traced program replays correctly whatever size a parameter
+    # rebinding produces (including zero rows in either direction).  Relative
+    # slices compare each sorted row to its predecessor; the boundary flags
+    # are scattered to positions 1..n-1 of an n-length vector (position 0
+    # stays 0: the first row starts group 0).
+    head = ops.slice_(sorted_codes, slice(None, -1))
+    tail = ops.slice_(sorted_codes, slice(1, None))
+    boundaries = ops.any_(ops.ne(head, tail), axis=1)
+    flags = ops.scatter_add(ops.add(ops.arange_like(boundaries), 1),
+                            ops.cast(boundaries, "int64"),
+                            size=ops.row_count(codes))
+    group_of_sorted = ops.cumsum(flags)
+    ranks = ops.scatter_add(order, group_of_sorted, size=ops.row_count(codes))
     return ops.cast(ranks, "int64")

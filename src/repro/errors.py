@@ -64,5 +64,13 @@ class ExecutionError(TQPError):
     """Raised when an executor fails at runtime."""
 
 
+class BindingError(ExecutionError):
+    """Raised when prepared-statement parameter bindings are invalid.
+
+    Covers missing values, unknown parameter names, and ill-typed values; the
+    message always names the offending parameter(s).
+    """
+
+
 class ModelError(TQPError):
     """Raised by the ML model layer (unknown model, bad shapes, not fitted)."""

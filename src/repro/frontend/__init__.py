@@ -27,15 +27,22 @@ __all__ = [
 ]
 
 
-def sql_to_logical(sql: str, catalog: Catalog, optimized: bool = True) -> LogicalNode:
-    """Parse, analyze and (optionally) optimize ``sql`` into a logical plan."""
+def sql_to_logical(sql: str, catalog: Catalog, optimized: bool = True,
+                   param_types: dict | None = None) -> LogicalNode:
+    """Parse, analyze and (optionally) optimize ``sql`` into a logical plan.
+
+    ``param_types`` optionally hints the logical type of bind parameters by
+    name (see :class:`repro.frontend.analyzer.Analyzer`).
+    """
     statement = parse(sql)
-    plan = Analyzer(catalog).analyze(statement)
+    plan = Analyzer(catalog, param_types=param_types).analyze(statement)
     if optimized:
         plan = optimize(plan)
     return plan
 
 
-def sql_to_physical(sql: str, catalog: Catalog, optimized: bool = True) -> PhysicalNode:
+def sql_to_physical(sql: str, catalog: Catalog, optimized: bool = True,
+                    param_types: dict | None = None) -> PhysicalNode:
     """Full frontend pipeline: SQL text → physical plan."""
-    return to_physical(sql_to_logical(sql, catalog, optimized=optimized))
+    return to_physical(sql_to_logical(sql, catalog, optimized=optimized,
+                                      param_types=param_types))

@@ -84,6 +84,8 @@ def expr_key(expr: ast.Expr) -> str:
         return f"col({expr.resolved or expr.display})"
     if isinstance(expr, ast.OuterRef):
         return f"outer({expr.ref.resolved})"
+    if isinstance(expr, ast.ParameterExpr):
+        return f"param({expr.name})"
     if isinstance(expr, ast.Literal):
         return f"lit({expr.kind},{expr.value!r})"
     if isinstance(expr, ast.IntervalLiteral):
@@ -132,10 +134,24 @@ def expr_key(expr: ast.Expr) -> str:
 
 
 class Analyzer:
-    """Turns parsed SELECT statements into resolved logical plans."""
+    """Turns parsed SELECT statements into resolved logical plans.
 
-    def __init__(self, catalog: Catalog):
+    Args:
+        catalog: table schemas for name resolution.
+        param_types: optional type hints for bind parameters, by name.  Used
+            by auto-parameterization, which knows the natural type of each
+            literal it lifted; explicit ``:name`` / ``?`` markers are instead
+            typed from their comparison/arithmetic context.
+    """
+
+    def __init__(self, catalog: Catalog,
+                 param_types: Optional[dict[str, LogicalType]] = None):
         self.catalog = catalog
+        self.param_hints = dict(param_types or {})
+        #: Inferred type per parameter name (statement-wide).
+        self._param_types: dict[str, LogicalType] = {}
+        #: Every resolved occurrence, so a type learned late back-propagates.
+        self._param_nodes: dict[str, list[ast.ParameterExpr]] = {}
 
     # -- public API -----------------------------------------------------------
 
@@ -143,7 +159,50 @@ class Analyzer:
         cte_map: dict[str, LogicalNode] = {}
         for name, query in statement.ctes:
             cte_map[name] = self._plan_select(query, outer_scope=None, cte_map=dict(cte_map))
-        return self._plan_select(statement, outer_scope=None, cte_map=cte_map)
+        plan = self._plan_select(statement, outer_scope=None, cte_map=cte_map)
+        untyped = sorted(name for name, nodes in self._param_nodes.items()
+                         if any(node.otype is None for node in nodes))
+        if untyped:
+            raise AnalysisError(
+                "cannot infer the type of parameter(s) "
+                + ", ".join(f":{name}" for name in untyped)
+                + "; use each parameter in a comparison or arithmetic "
+                "expression with a typed column"
+            )
+        return plan
+
+    # -- parameter typing -----------------------------------------------------
+
+    def parameter_types(self) -> dict[str, LogicalType]:
+        """Inferred parameter types, by name (valid after :meth:`analyze`)."""
+        return dict(self._param_types)
+
+    def _note_param_type(self, name: str, ltype: LogicalType) -> None:
+        current = self._param_types.get(name)
+        if current is not None and current != ltype:
+            if {current, ltype} == {LogicalType.INT, LogicalType.FLOAT}:
+                ltype = LogicalType.FLOAT
+            else:
+                raise AnalysisError(
+                    f"parameter :{name} is used with conflicting types "
+                    f"{current.value} and {ltype.value}"
+                )
+        self._param_types[name] = ltype
+        for node in self._param_nodes.get(name, []):
+            node.otype = ltype
+
+    def _unify_params(self, *exprs: ast.Expr) -> None:
+        """Give untyped parameters the type of a typed sibling operand."""
+        anchor = next((e.otype for e in exprs
+                       if e.otype is not None
+                       and not isinstance(e, ast.ParameterExpr)), None)
+        if anchor is None:
+            anchor = next((e.otype for e in exprs if e.otype is not None), None)
+        if anchor is None:
+            return
+        for expr in exprs:
+            if isinstance(expr, ast.ParameterExpr) and expr.otype is None:
+                self._note_param_type(expr.name, anchor)
 
     # -- SELECT planning -----------------------------------------------------------
 
@@ -400,6 +459,16 @@ class Analyzer:
                 expr.otype = expr.kind
             return expr
 
+        if isinstance(expr, ast.ParameterExpr):
+            self._param_nodes.setdefault(expr.name, []).append(expr)
+            known = self._param_types.get(expr.name)
+            declared = expr.kind or self.param_hints.get(expr.name)
+            if known is not None:
+                expr.otype = known
+            elif declared is not None:
+                self._note_param_type(expr.name, declared)
+            return expr
+
         if isinstance(expr, ast.IntervalLiteral):
             return expr
 
@@ -416,6 +485,8 @@ class Analyzer:
         if isinstance(expr, ast.BinaryOp):
             expr.left = self._resolve(expr.left, scope, cte_map, allow_aggregates)
             expr.right = self._resolve(expr.right, scope, cte_map, allow_aggregates)
+            if expr.op not in ("and", "or"):
+                self._unify_params(expr.left, expr.right)
             folded = self._fold_date_arithmetic(expr)
             if folded is not None:
                 return folded
@@ -437,6 +508,10 @@ class Analyzer:
             if expr.else_value is not None:
                 expr.else_value = self._resolve(expr.else_value, scope, cte_map,
                                                 allow_aggregates)
+            branch_values = [value for _, value in expr.whens]
+            if expr.else_value is not None:
+                branch_values.append(expr.else_value)
+            self._unify_params(*branch_values)
             # Standard SQL numeric promotion across branches: a CASE mixing
             # INT and FLOAT results is FLOAT (typing it after the first THEN
             # alone silently truncated float ELSE branches to int).
@@ -475,6 +550,7 @@ class Analyzer:
             expr.operand = self._resolve(expr.operand, scope, cte_map, allow_aggregates)
             expr.low = self._resolve(expr.low, scope, cte_map, allow_aggregates)
             expr.high = self._resolve(expr.high, scope, cte_map, allow_aggregates)
+            self._unify_params(expr.operand, expr.low, expr.high)
             expr.otype = LogicalType.BOOL
             return expr
 
@@ -482,6 +558,7 @@ class Analyzer:
             expr.operand = self._resolve(expr.operand, scope, cte_map, allow_aggregates)
             expr.items = [self._resolve(i, scope, cte_map, allow_aggregates)
                           for i in expr.items]
+            self._unify_params(expr.operand, *expr.items)
             expr.otype = LogicalType.BOOL
             return expr
 
@@ -538,6 +615,12 @@ class Analyzer:
     @staticmethod
     def _require_type(expr: ast.Expr) -> LogicalType:
         if expr.otype is None:
+            if isinstance(expr, ast.ParameterExpr):
+                raise AnalysisError(
+                    f"cannot infer the type of parameter :{expr.name}; use it "
+                    "in a comparison or arithmetic expression with a typed "
+                    "column"
+                )
             raise AnalysisError(f"expression {type(expr).__name__} has no inferred type")
         return expr.otype
 

@@ -45,6 +45,28 @@ class Literal(Expr):
 
 
 @dataclasses.dataclass(eq=False)
+class ParameterExpr(Expr):
+    """A bind-parameter marker: ``:name`` or ``?`` (positional).
+
+    Parameters are the unit of the prepared-statement API: the analyzer infers
+    their logical type from comparison/arithmetic context (or from ``kind``, a
+    hint attached by auto-parameterization), the tensor compiler turns each
+    one into a *runtime graph input*, and the executor feeds bound values in
+    at execution time — so one traced program serves every binding.
+    """
+
+    name: str
+    #: Lexical position (0-based order of appearance in the statement text);
+    #: drives positional binding for ``?`` markers.
+    position: int = 0
+    #: Optional declared/hinted type (set by auto-parameterization, which
+    #: knows the natural type of the literal it lifted).
+    kind: LogicalType | None = None
+    #: True for ``?`` markers (bound by position), False for ``:name``.
+    positional: bool = False
+
+
+@dataclasses.dataclass(eq=False)
 class IntervalLiteral(Expr):
     """``INTERVAL '<value>' <unit>`` — unit in {day, month, year}."""
 

@@ -20,6 +20,8 @@ class TokenType(enum.Enum):
     STRING = "string"
     OPERATOR = "operator"
     PUNCTUATION = "punctuation"
+    #: A bind-parameter marker: value is the name for ``:name``, "" for ``?``.
+    PARAMETER = "parameter"
     EOF = "eof"
 
 
@@ -117,6 +119,17 @@ class Lexer:
                     tokens.append(Token(TokenType.KEYWORD, lowered, line, column))
                 else:
                     tokens.append(Token(TokenType.IDENTIFIER, lowered, line, column))
+                continue
+            if ch == "?":
+                tokens.append(Token(TokenType.PARAMETER, "", line, column))
+                self._advance()
+                continue
+            if ch == ":":
+                if not (self._peek(1).isalpha() or self._peek(1) == "_"):
+                    raise self._error("':' must be followed by a parameter name")
+                self._advance()
+                tokens.append(Token(TokenType.PARAMETER, self._read_word().lower(),
+                                    line, column))
                 continue
             matched = False
             for op in _OPERATORS:

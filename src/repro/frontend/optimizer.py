@@ -29,8 +29,6 @@ from repro.core.columnar import LogicalType
 from repro.errors import UnsupportedOperationError
 from repro.frontend import ast
 from repro.frontend.logical import (
-    AggregateCall,
-    Field,
     LogicalAggregate,
     LogicalDistinct,
     LogicalFilter,

@@ -23,6 +23,9 @@ class Parser:
     def __init__(self, text: str):
         self.tokens = tokenize(text)
         self.pos = 0
+        #: Parameter markers in lexical order: (name, positional?) pairs.
+        #: ``?`` markers are assigned the generated names ``p1``, ``p2``, ...
+        self.parameters: list[tuple[str, bool]] = []
 
     # -- token helpers ------------------------------------------------------
 
@@ -416,6 +419,10 @@ class Parser:
             self._expect_punct(")")
             return ast.PredictExpr(model_token.value, args)
 
+        if token.type == TokenType.PARAMETER:
+            self._advance()
+            return self._make_parameter(token)
+
         if token.type == TokenType.OPERATOR and token.value == "*":
             self._advance()
             return ast.Star()
@@ -433,6 +440,22 @@ class Parser:
             return self._parse_identifier_expression()
 
         raise self._error("unexpected token in expression")
+
+    def _make_parameter(self, token: Token) -> ast.ParameterExpr:
+        positional = token.value == ""
+        styles = {is_positional for _, is_positional in self.parameters}
+        if styles and positional not in styles:
+            raise SQLSyntaxError(
+                "cannot mix '?' and ':name' parameter markers in one statement",
+                token.line, token.column,
+            )
+        name = f"p{sum(1 for _, p in self.parameters if p) + 1}" if positional \
+            else token.value
+        position = next((i for i, (seen, _) in enumerate(self.parameters)
+                         if seen == name), len(self.parameters))
+        if position == len(self.parameters):
+            self.parameters.append((name, positional))
+        return ast.ParameterExpr(name, position=position, positional=positional)
 
     def _parse_case(self) -> ast.Expr:
         self._expect_keyword("case")

@@ -22,7 +22,7 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from repro.errors import DTypeError, TensorRuntimeError
+from repro.errors import TensorRuntimeError
 from repro.tensor import dtype as dtypes
 from repro.tensor.device import CPU, Device, parse_device
 from repro.tensor.tensor import Tensor, same_device
@@ -241,6 +241,78 @@ def arange(start: int, stop: int | None = None, step: int = 1,
     return _apply("arange", [],
                   {"start": start, "stop": stop, "step": step, "dtype": name},
                   device=parse_device(device))
+
+
+# -- shape-polymorphic creation ops -----------------------------------------
+#
+# ``zeros`` / ``full`` / ``arange`` bake their shape into the traced graph as
+# an attribute, which is fine for sizes fixed at compile time but wrong for
+# sizes that depend on a *parameter binding* (a prepared query re-executed
+# with a new value changes how many rows survive each filter).  The variants
+# below take a reference tensor input instead and derive the size from it at
+# run time, so traced programs replay correctly under new bindings.
+
+
+@register_op("row_count")
+def _row_count_kernel(arrays: list[np.ndarray], attrs: dict) -> list[np.ndarray]:
+    return [np.asarray(arrays[0].shape[0], dtype=np.int64)]
+
+
+def row_count(a: Tensor) -> Tensor:
+    """Number of rows of ``a`` as a 0-d int64 tensor (shape read at run time)."""
+    return _apply("row_count", [_coerce(a)])
+
+
+@register_op("full_like_rows")
+def _full_like_rows_kernel(arrays: list[np.ndarray], attrs: dict) -> list[np.ndarray]:
+    dt = dtypes.by_name(attrs.get("dtype", "float64"))
+    width = attrs.get("width")
+    n = arrays[0].shape[0]
+    shape = (n,) if width is None else (n, int(width))
+    return [np.full(shape, attrs["value"], dtype=dt.np_dtype)]
+
+
+def full_like_rows(ref: Tensor, value: Any, dtype: dtypes.DType | str = "float64",
+                   width: int | None = None) -> Tensor:
+    """A constant tensor with one row per row of ``ref`` (optionally 2-d)."""
+    name = dtype if isinstance(dtype, str) else dtype.name
+    attrs: dict = {"value": value, "dtype": name}
+    if width is not None:
+        attrs["width"] = int(width)
+    return _apply("full_like_rows", [_coerce(ref)], attrs)
+
+
+@register_op("arange_like")
+def _arange_like_kernel(arrays: list[np.ndarray], attrs: dict) -> list[np.ndarray]:
+    return [np.arange(arrays[0].shape[attrs.get("axis", 0)], dtype=np.int64)]
+
+
+def arange_like(ref: Tensor, axis: int = 0) -> Tensor:
+    """``arange(ref.shape[axis])`` with the extent read at run time."""
+    return _apply("arange_like", [_coerce(ref)], {"axis": axis})
+
+
+@register_op("arange_until")
+def _arange_until_kernel(arrays: list[np.ndarray], attrs: dict) -> list[np.ndarray]:
+    return [np.arange(max(0, int(arrays[0])), dtype=np.int64)]
+
+
+def arange_until(stop: Tensor) -> Tensor:
+    """``arange(stop)`` where ``stop`` is the value of a 0-d tensor."""
+    return _apply("arange_until", [_coerce(stop)])
+
+
+@register_op("split_rows", n_outputs=2)
+def _split_rows_kernel(arrays: list[np.ndarray], attrs: dict) -> list[np.ndarray]:
+    n = arrays[1].shape[0]
+    return [arrays[0][:n], arrays[0][n:]]
+
+
+def split_rows(a: Tensor, head_ref: Tensor) -> tuple[Tensor, Tensor]:
+    """Split ``a`` after ``head_ref.shape[0]`` rows (extent read at run time)."""
+    ta, tr, device = _pair(a, head_ref)
+    head, tail = _apply_multi("split_rows", [ta, tr], device=device)
+    return head, tail
 
 
 @register_op("cast", elementwise=True)
@@ -639,9 +711,31 @@ def nonzero(mask: Tensor) -> Tensor:
     return _apply("nonzero", [_coerce(mask)])
 
 
+# Scatter/segment reductions accept their output size either as a baked int
+# attribute or — for prepared-statement replay, where a rebound parameter can
+# change how many rows/groups survive a filter — as a trailing 0-d int tensor
+# input whose *value* is read at run time (attrs["size"] == "input").
+
+
+def _scatter_size(arrays: list[np.ndarray], attrs: dict,
+                  key: str = "size") -> tuple[list[np.ndarray], int]:
+    if attrs.get(key) == "input":
+        return arrays[:-1], int(arrays[-1])
+    return arrays, int(attrs.get(key, 0))
+
+
+def _scatter_inputs(inputs: list[Tensor], size: "int | Tensor",
+                    attrs: dict, key: str = "size") -> list[Tensor]:
+    if isinstance(size, Tensor):
+        attrs[key] = "input"
+        return inputs + [size]
+    attrs[key] = int(size)
+    return inputs
+
+
 @register_op("scatter_add")
 def _scatter_add_kernel(arrays: list[np.ndarray], attrs: dict) -> list[np.ndarray]:
-    size = int(attrs["size"])
+    arrays, size = _scatter_size(arrays, attrs)
     index, values = arrays
     out = np.zeros(size, dtype=np.result_type(values.dtype, np.float64)
                    if values.dtype.kind == "f" else values.dtype)
@@ -649,15 +743,17 @@ def _scatter_add_kernel(arrays: list[np.ndarray], attrs: dict) -> list[np.ndarra
     return [out]
 
 
-def scatter_add(index: Tensor, values: Tensor, size: int) -> Tensor:
+def scatter_add(index: Tensor, values: Tensor, size: "int | Tensor") -> Tensor:
     """``out[index[i]] += values[i]`` over a fresh zero tensor of ``size``."""
     ti, tv, device = _pair(index, values)
-    return _apply("scatter_add", [ti, tv], {"size": size}, device=device)
+    attrs: dict = {}
+    inputs = _scatter_inputs([ti, tv], size, attrs)
+    return _apply("scatter_add", inputs, attrs, device=device)
 
 
 @register_op("scatter_min")
 def _scatter_min_kernel(arrays: list[np.ndarray], attrs: dict) -> list[np.ndarray]:
-    size = int(attrs["size"])
+    arrays, size = _scatter_size(arrays, attrs)
     index, values = arrays
     if values.dtype.kind == "f":
         fill = np.inf
@@ -668,14 +764,16 @@ def _scatter_min_kernel(arrays: list[np.ndarray], attrs: dict) -> list[np.ndarra
     return [out]
 
 
-def scatter_min(index: Tensor, values: Tensor, size: int) -> Tensor:
+def scatter_min(index: Tensor, values: Tensor, size: "int | Tensor") -> Tensor:
     ti, tv, device = _pair(index, values)
-    return _apply("scatter_min", [ti, tv], {"size": size}, device=device)
+    attrs: dict = {}
+    inputs = _scatter_inputs([ti, tv], size, attrs)
+    return _apply("scatter_min", inputs, attrs, device=device)
 
 
 @register_op("scatter_max")
 def _scatter_max_kernel(arrays: list[np.ndarray], attrs: dict) -> list[np.ndarray]:
-    size = int(attrs["size"])
+    arrays, size = _scatter_size(arrays, attrs)
     index, values = arrays
     if values.dtype.kind == "f":
         fill = -np.inf
@@ -686,25 +784,29 @@ def _scatter_max_kernel(arrays: list[np.ndarray], attrs: dict) -> list[np.ndarra
     return [out]
 
 
-def scatter_max(index: Tensor, values: Tensor, size: int) -> Tensor:
+def scatter_max(index: Tensor, values: Tensor, size: "int | Tensor") -> Tensor:
     ti, tv, device = _pair(index, values)
-    return _apply("scatter_max", [ti, tv], {"size": size}, device=device)
+    attrs: dict = {}
+    inputs = _scatter_inputs([ti, tv], size, attrs)
+    return _apply("scatter_max", inputs, attrs, device=device)
 
 
 @register_op("bincount")
 def _bincount_kernel(arrays: list[np.ndarray], attrs: dict) -> list[np.ndarray]:
-    minlength = int(attrs.get("minlength", 0))
+    arrays, minlength = _scatter_size(arrays, attrs, key="minlength")
     if len(arrays) > 1:
         return [np.bincount(arrays[0], weights=arrays[1], minlength=minlength)]
     return [np.bincount(arrays[0], minlength=minlength).astype(np.int64)]
 
 
-def bincount(index: Tensor, weights: Tensor | None = None, minlength: int = 0) -> Tensor:
+def bincount(index: Tensor, weights: Tensor | None = None,
+             minlength: "int | Tensor" = 0) -> Tensor:
     inputs = [_coerce(index)]
     if weights is not None:
         inputs.append(_coerce(weights, like=inputs[0]))
-    return _apply("bincount", inputs, {"minlength": minlength},
-                  device=same_device(inputs))
+    attrs: dict = {}
+    inputs = _scatter_inputs(inputs, minlength, attrs, key="minlength")
+    return _apply("bincount", inputs, attrs, device=same_device(inputs[:1]))
 
 
 # ---------------------------------------------------------------------------

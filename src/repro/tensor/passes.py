@@ -49,6 +49,72 @@ def dead_code_elimination(graph: Graph) -> Graph:
     return graph
 
 
+# Ops whose result depends only on the *shape* of their input (plus attrs).
+# See fold_param_free_shapes below.
+_SHAPE_ONLY_OPS = {"row_count", "full_like_rows", "arange_like"}
+
+
+def fold_param_free_shapes(graph: Graph) -> Graph:
+    """Fold shape-only ops that cannot be affected by a bind parameter.
+
+    The shape-polymorphic creation ops (``row_count`` / ``full_like_rows`` /
+    ``arange_like``) exist so traced programs replay correctly when a rebound
+    parameter changes an intermediate size.  For a compiled program, the table
+    inputs are fixed (the session's schema fingerprint revalidates them), so
+    the only values that vary across executions are the ``param:<name>``
+    inputs and everything downstream of them.  A shape-only op whose input is
+    *not* tainted by a parameter therefore always sees the same shape — the
+    one recorded at trace time — and folds to a constant, restoring the
+    kernel-launch counts (and fusion opportunities) of non-parameterized
+    plans.
+    """
+    import numpy as np
+
+    from repro.tensor import dtype as dtypes
+
+    tainted: set[int] = {
+        vid for vid in graph.inputs
+        if (value := graph.values.get(vid)) is not None
+        and value.name.startswith("param:")
+    }
+
+    def shape_of(vid: int):
+        if vid in graph.initializers:
+            return graph.initializers[vid].shape
+        value = graph.values.get(vid)
+        return value.shape if value is not None else None
+
+    new_nodes: list[Node] = []
+    for node in graph.nodes:
+        if any(vid in tainted for vid in node.inputs):
+            tainted.update(node.outputs)
+            new_nodes.append(node)
+            continue
+        if node.op in _SHAPE_ONLY_OPS and node.inputs:
+            shape = shape_of(node.inputs[0])
+            if shape is not None and len(shape) >= 1:
+                attrs = node.attrs
+                if node.op == "row_count":
+                    folded = np.asarray(shape[0], dtype=np.int64)
+                elif node.op == "arange_like":
+                    axis = attrs.get("axis", 0)
+                    if axis >= len(shape):
+                        new_nodes.append(node)
+                        continue
+                    folded = np.arange(shape[axis], dtype=np.int64)
+                else:  # full_like_rows
+                    dt = dtypes.by_name(attrs.get("dtype", "float64"))
+                    width = attrs.get("width")
+                    out_shape = ((shape[0],) if width is None
+                                 else (shape[0], int(width)))
+                    folded = np.full(out_shape, attrs["value"], dtype=dt.np_dtype)
+                graph.initializers[node.outputs[0]] = folded
+                continue
+        new_nodes.append(node)
+    graph.nodes = new_nodes
+    return graph
+
+
 def constant_folding(graph: Graph) -> Graph:
     """Evaluate nodes whose inputs are all constants and inline the results."""
     constant_ids = set(graph.initializers)
@@ -310,7 +376,8 @@ def fuse_elementwise(graph: Graph, min_group_size: int = 2) -> Graph:
     return graph
 
 
-DEFAULT_PASSES = (peephole, common_subexpression_elimination, constant_folding,
+DEFAULT_PASSES = (peephole, common_subexpression_elimination,
+                  fold_param_free_shapes, constant_folding,
                   dead_code_elimination, fuse_elementwise)
 
 

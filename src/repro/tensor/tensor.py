@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.errors import DeviceError, TensorRuntimeError
 from repro.tensor import dtype as dtypes
-from repro.tensor.device import CPU, Device, parse_device
+from repro.tensor.device import CPU, Device
 
 
 class Tensor:

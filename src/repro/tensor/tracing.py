@@ -70,19 +70,25 @@ class TraceContext:
 
 def trace(fn: Callable[..., "Tensor | Sequence[Tensor]"],
           example_inputs: Sequence[Tensor],
-          name: str = "traced") -> Graph:
+          name: str = "traced",
+          input_names: Sequence[str] | None = None) -> Graph:
     """Trace ``fn`` over ``example_inputs`` and return the captured graph.
 
     The function may return a single tensor or a sequence of tensors; the
     returned graph has one output per returned tensor, in order.
+    ``input_names`` optionally labels the graph inputs (e.g. table columns
+    and bind parameters), defaulting to ``input_<i>``.
     """
+    if input_names is not None and len(input_names) != len(example_inputs):
+        raise GraphError("input_names must match example_inputs in length")
     ctx = TraceContext(name)
     with ctx:
         symbolic_inputs: list[Tensor] = []
         for i, example in enumerate(example_inputs):
             if not isinstance(example, Tensor):
                 raise GraphError("trace() example inputs must be tensors")
-            value = ctx.graph.add_input(f"input_{i}", example.shape, example.dtype.name)
+            input_name = input_names[i] if input_names is not None else f"input_{i}"
+            value = ctx.graph.add_input(input_name, example.shape, example.dtype.name)
             # Re-wrap so caller-held tensors keep trace_value = None.
             wrapped = Tensor(example.data, example.device)
             wrapped.trace_value = value

@@ -1,0 +1,92 @@
+"""Unit tests for ExecutionOptions and the legacy-kwarg deprecation shim."""
+
+import pytest
+
+from repro import DataFrame, ExecutionOptions, TQPSession
+from repro.core.options import merge_legacy_kwargs
+from repro.errors import ExecutionError
+
+import numpy as np
+
+
+@pytest.fixture
+def session():
+    s = TQPSession()
+    s.register("t", DataFrame({"a": np.array([1.0, 2.0, 3.0])}))
+    return s
+
+
+def test_resolved_fills_session_defaults():
+    options = ExecutionOptions().resolved("torchscript", "cuda", 4)
+    assert options.backend == "torchscript"
+    assert options.device.kind == "cuda"
+    assert options.parallelism == 4
+    assert options.optimize and options.use_cache
+    assert not options.auto_parameterize
+
+
+def test_resolved_keeps_explicit_fields():
+    options = ExecutionOptions(backend="onnx", device="wasm", parallelism=2)
+    resolved = options.resolved("pytorch", "cpu", 1)
+    assert resolved.backend == "onnx"
+    assert resolved.device.kind == "wasm"
+    assert resolved.parallelism == 2
+
+
+def test_cache_key_covers_the_compile_knobs():
+    a = ExecutionOptions(backend="torchscript").resolved("pytorch", "cpu")
+    b = a.replace(optimize=False)
+    c = a.replace(parallelism=4)
+    assert len({a.cache_key(), b.cache_key(), c.cache_key()}) == 3
+
+
+def test_legacy_kwargs_warn_and_win():
+    with pytest.warns(DeprecationWarning):
+        merged = merge_legacy_kwargs(ExecutionOptions(backend="onnx"),
+                                     backend="torchscript", parallelism=4)
+    assert merged.backend == "torchscript"
+    assert merged.parallelism == 4
+
+
+def test_legacy_shim_rejects_unknown_kwargs():
+    with pytest.raises(TypeError):
+        merge_legacy_kwargs(None, nonsense=True)
+
+
+def test_session_compile_accepts_options_object(session):
+    compiled = session.compile("select sum(a) as s from t",
+                               options=ExecutionOptions(backend="torchscript"))
+    assert compiled.executor.backend.name == "torchscript"
+    assert compiled.options.backend == "torchscript"
+    assert compiled.run().to_dict() == {"s": [6.0]}
+
+
+def test_session_compile_legacy_kwargs_still_work(session):
+    with pytest.warns(DeprecationWarning):
+        compiled = session.compile("select sum(a) as s from t",
+                                   backend="torchscript", device="cuda")
+    assert compiled.executor.backend.name == "torchscript"
+    assert compiled.executor.device.kind == "cuda"
+
+
+def test_options_and_legacy_kwargs_share_one_cache_entry(session):
+    with pytest.warns(DeprecationWarning):
+        a = session.compile("select sum(a) as s from t", backend="torchscript")
+    b = session.compile("select sum(a) as s from t",
+                        options=ExecutionOptions(backend="torchscript"))
+    assert a is b
+
+
+def test_session_default_options():
+    s = TQPSession(default_options=ExecutionOptions(backend="torchscript",
+                                                    device="cuda",
+                                                    parallelism=2))
+    assert s.default_backend == "torchscript"
+    assert s.default_device.kind == "cuda"
+    assert s.default_parallelism == 2
+
+
+def test_unknown_backend_still_rejected(session):
+    with pytest.raises(ExecutionError):
+        session.compile("select sum(a) as s from t",
+                        options=ExecutionOptions(backend="nope"))

@@ -125,11 +125,23 @@ def test_registering_unrelated_table_keeps_plans_warm(session):
     assert session.plan_cache.stats()["hits"] == 1
 
 
-def test_register_model_clears_cache(session):
-    session.compile(SQL)
-    assert session.plan_cache.stats()["size"] == 1
+def test_register_model_invalidates_only_plans_referencing_it(session):
     session.register_model("m", lambda args, num_rows: args[0])
-    assert session.plan_cache.stats()["size"] == 0
+    plain = session.compile(SQL)
+    predicting = session.compile(
+        "select predict('m', amount) as score from sales")
+    assert session.plan_cache.stats()["size"] == 2
+    assert predicting.model_names == frozenset({"m"})
+    # Re-registering "m" drops only the plan whose PREDICT references it.
+    session.register_model("m", lambda args, num_rows: args[0])
+    assert session.plan_cache.stats()["size"] == 1
+    assert session.compile(SQL) is plain
+    assert session.compile(
+        "select predict('m', amount) as score from sales") is not predicting
+    # A model no plan references invalidates nothing.
+    before = session.plan_cache.stats()["size"]
+    session.register_model("unused", lambda args, num_rows: args[0])
+    assert session.plan_cache.stats()["size"] == before
 
 
 def test_cached_plan_returns_correct_results_across_calls(session):
