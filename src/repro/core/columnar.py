@@ -122,19 +122,30 @@ def morsel_bounds(num_rows: int, morsel_rows: int = DEFAULT_MORSEL_ROWS
 
 
 class TensorColumn:
-    """One column of a :class:`TensorTable`."""
+    """One column of a :class:`TensorTable`.
 
-    __slots__ = ("tensor", "ltype", "valid")
+    A column may carry a storage ``encoding`` (see
+    :mod:`repro.storage.encodings`): dictionary-encoded string columns keep
+    ``(n,)`` int32 codes in ``tensor`` plus a shared dictionary on the
+    encoding, run-length-encoded numeric columns keep the run values.  Callers
+    that cannot work on the encoded form use :meth:`decoded`, which lowers the
+    decode to a single tensor op.
+    """
+
+    __slots__ = ("tensor", "ltype", "valid", "encoding")
 
     def __init__(self, tensor: Tensor, ltype: LogicalType,
-                 valid: Tensor | None = None):
-        if ltype == LogicalType.STRING and tensor.ndim != 2:
+                 valid: Tensor | None = None, encoding=None):
+        if encoding is not None:
+            encoding.validate(tensor, ltype)
+        elif ltype == LogicalType.STRING and tensor.ndim != 2:
             raise ExecutionError("string columns must be (n x m) tensors")
-        if ltype != LogicalType.STRING and tensor.ndim != 1:
+        elif ltype != LogicalType.STRING and tensor.ndim != 1:
             raise ExecutionError(f"{ltype.value} columns must be 1-d tensors")
         self.tensor = tensor
         self.ltype = ltype
         self.valid = valid
+        self.encoding = encoding
 
     # -- construction ---------------------------------------------------------
 
@@ -162,42 +173,83 @@ class TensorColumn:
 
     @property
     def num_rows(self) -> int:
+        if self.encoding is not None:
+            return self.encoding.num_rows(self.tensor)
         return self.tensor.shape[0]
 
     @property
     def string_width(self) -> int:
         if self.ltype != LogicalType.STRING:
             raise ExecutionError("string_width is only defined for string columns")
+        if self.encoding is not None:
+            return self.encoding.width
         return self.tensor.shape[1]
 
     @property
     def device(self) -> Device:
         return self.tensor.device
 
+    # -- encoding ---------------------------------------------------------------
+
+    def decoded(self) -> "TensorColumn":
+        """The plain (unencoded) form of this column; a no-op when unencoded.
+
+        The decode is one tensor op (dictionary ``take`` / run-length
+        ``repeat``), so it is traced, profiled and cost-modelled like any
+        other kernel.
+        """
+        if self.encoding is None:
+            return self
+        return TensorColumn(self.encoding.decode(self.tensor), self.ltype,
+                            self.valid)
+
+    def _positional(self) -> "TensorColumn":
+        """A form that supports per-row positional access (gather/mask/slice).
+
+        Dictionary codes are positional already; run-length runs are not, so
+        they decode first.
+        """
+        if self.encoding is not None and self.encoding.kind == "rle":
+            return self.decoded()
+        return self
+
     # -- transformations --------------------------------------------------------
 
     def gather(self, indices: Tensor) -> "TensorColumn":
         """Select rows by index tensor."""
-        taken = ops.take(self.tensor, indices, axis=0)
-        valid = ops.take(self.valid, indices, axis=0) if self.valid is not None else None
-        return TensorColumn(taken, self.ltype, valid)
+        base = self._positional()
+        taken = ops.take(base.tensor, indices, axis=0)
+        valid = ops.take(base.valid, indices, axis=0) if base.valid is not None else None
+        return TensorColumn(taken, base.ltype, valid, base.encoding)
 
     def mask(self, mask: Tensor) -> "TensorColumn":
         """Select rows by boolean mask tensor."""
-        kept = ops.boolean_mask(self.tensor, mask)
-        valid = ops.boolean_mask(self.valid, mask) if self.valid is not None else None
-        return TensorColumn(kept, self.ltype, valid)
+        base = self._positional()
+        kept = ops.boolean_mask(base.tensor, mask)
+        valid = ops.boolean_mask(base.valid, mask) if base.valid is not None else None
+        return TensorColumn(kept, base.ltype, valid, base.encoding)
 
     def slice(self, start: int, length: int) -> "TensorColumn":
-        """A contiguous row range (zero-copy view via ``narrow``)."""
-        data = ops.narrow(self.tensor, 0, start, length)
-        valid = (ops.narrow(self.valid, 0, start, length)
-                 if self.valid is not None else None)
-        return TensorColumn(data, self.ltype, valid)
+        """A contiguous row range (zero-copy view via ``narrow``).
+
+        Run-length-encoded columns decode only the overlapping runs, so
+        slicing a pruned scan (or a morsel) never materializes rows outside
+        the range.
+        """
+        if (self.encoding is not None and self.encoding.kind == "rle"
+                and self.valid is None):
+            return TensorColumn(
+                self.encoding.slice_rows(self.tensor, start, length), self.ltype)
+        base = self._positional()
+        data = ops.narrow(base.tensor, 0, start, length)
+        valid = (ops.narrow(base.valid, 0, start, length)
+                 if base.valid is not None else None)
+        return TensorColumn(data, base.ltype, valid, base.encoding)
 
     def to(self, device: Device | str) -> "TensorColumn":
         valid = self.valid.to(device) if self.valid is not None else None
-        return TensorColumn(self.tensor.to(device), self.ltype, valid)
+        encoding = self.encoding.to(device) if self.encoding is not None else None
+        return TensorColumn(self.tensor.to(device), self.ltype, valid, encoding)
 
     def validity(self) -> Tensor:
         """Return the validity mask, materializing an all-true mask if absent.
@@ -214,6 +266,8 @@ class TensorColumn:
 
     def to_numpy(self) -> np.ndarray:
         """Decode back to a numpy array (strings → object, dates → datetime64[D])."""
+        if self.encoding is not None:
+            return self.decoded().to_numpy()
         data = self.tensor.numpy()
         if self.ltype == LogicalType.STRING:
             out = decode_strings(data)
@@ -231,6 +285,43 @@ class TensorColumn:
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (f"TensorColumn({self.ltype.value}, rows={self.num_rows}, "
                 f"device={self.device})")
+
+
+def concat_columns(cols: Sequence[TensorColumn]) -> TensorColumn:
+    """Row-concatenate column chunks with one ``concat`` kernel per tensor.
+
+    Dictionary-encoded chunks that share one dictionary (chunks sliced from
+    the same stored column) concatenate their codes and stay encoded; any
+    other mix of encoded/plain chunks decodes first.  String chunks of
+    different widths are padded to the widest.
+    """
+    if not cols:
+        raise ExecutionError("concat_columns() needs at least one chunk")
+    if len(cols) == 1:
+        return cols[0]
+    ltype = cols[0].ltype
+    encodings = [c.encoding for c in cols]
+    shared_dictionary = (
+        all(e is not None and e.kind == "dictionary" for e in encodings)
+        and len({id(e.dictionary) for e in encodings}) == 1
+    )
+    if shared_dictionary:
+        parts = [c.tensor for c in cols]
+        encoding = encodings[0]
+    else:
+        cols = [c.decoded() for c in cols]
+        encoding = None
+        if ltype == LogicalType.STRING:
+            width = max(c.tensor.shape[1] for c in cols)
+            parts = [c.tensor if c.tensor.shape[1] == width
+                     else ops.pad2d(c.tensor, width) for c in cols]
+        else:
+            parts = [c.tensor for c in cols]
+    data = ops.concat(parts, axis=0)
+    valid = None
+    if any(c.valid is not None for c in cols):
+        valid = ops.concat([c.validity() for c in cols], axis=0)
+    return TensorColumn(data, ltype, valid, encoding)
 
 
 class TensorTable:
@@ -331,6 +422,11 @@ class TensorTable:
 
     def to(self, device: Device | str) -> "TensorTable":
         return TensorTable({name: col.to(device)
+                            for name, col in self._columns.items()})
+
+    def decoded(self) -> "TensorTable":
+        """Materialize every encoded column into its plain form."""
+        return TensorTable({name: col.decoded()
                             for name, col in self._columns.items()})
 
     # -- conversion ------------------------------------------------------------------------

@@ -44,6 +44,10 @@ class ExecutionResult:
     backend: str
     device: str
     profile: Optional[Profiler] = None
+    #: Zone-map pruning outcome per scan alias (blocks skipped/total); empty
+    #: when no scan pruned.  On the graph backends the counters describe the
+    #: tracing run (a replay does not re-execute the operators).
+    pruning: dict = dataclasses.field(default_factory=dict)
 
     def to_dataframe(self) -> DataFrame:
         return self.table.to_dataframe()
@@ -63,8 +67,12 @@ class Executor:
                  device: Device | str = "cpu",
                  models: Optional[dict[str, Callable]] = None,
                  parallelism: int = 1,
-                 options: Optional[ExecutionOptions] = None):
+                 options: Optional[ExecutionOptions] = None,
+                 scan_stats: Optional[dict] = None):
         self.plan = plan
+        #: Storage statistics per scan alias (zone maps for pruning); set by
+        #: the session at compile time, ``None`` disables pruning.
+        self.scan_stats = scan_stats or {}
         if options is not None:
             backend = options.backend or backend
             device = options.device if options.device is not None else device
@@ -118,10 +126,11 @@ class Executor:
                 "plan references unregistered table(s): "
                 + ", ".join(repr(name) for name in missing)
             )
+        from repro.storage.encodings import encode_table
+
         inputs: dict[str, TensorTable] = {}
         for scan in self.plan.scans:
             frame = by_key[scan.table.lower()]
-            columns = {}
             for field in scan.fields:
                 base = field.name.split(".", 1)[1] if "." in field.name else field.name
                 if base not in frame:
@@ -129,8 +138,14 @@ class Executor:
                         f"table {scan.table!r} has no column {base!r} "
                         f"(required by scan {scan.alias!r})"
                     )
-                columns[field.name] = TensorColumn.from_numpy(frame[base])
-            inputs[scan.alias] = TensorTable(columns)
+            # Reuse the catalog's NDV counts when statistics were attached so
+            # the dictionary-encoding decision skips its np.unique fallback.
+            stats = self.scan_stats.get(scan.alias)
+            ndv = ({name: column.ndv for name, column in stats.columns.items()}
+                   if stats is not None else None)
+            inputs[scan.alias] = TensorTable(
+                encode_table(frame, scan.fields, mode=self.options.encoding,
+                             column_ndv=ndv))
         return inputs
 
     # -- execution ------------------------------------------------------------
@@ -192,9 +207,11 @@ class Executor:
         reported = self.cost_model.report_time(
             measured, profiler,
             interpreter_overhead_s=self.backend.per_node_overhead_s)
+        pruning = {scan.alias: scan.last_pruning for scan in self.plan.scans
+                   if getattr(scan, "last_pruning", None)}
         return ExecutionResult(table=table, measured_s=measured, reported_s=reported,
                                backend=self.backend.name, device=str(self.device),
-                               profile=profiler)
+                               profile=profiler, pruning=pruning)
 
     # -- eager (PyTorch-like) path ----------------------------------------------
 
@@ -210,7 +227,8 @@ class Executor:
             params[name] = ExprValue(tensor, value.ltype, value.is_scalar,
                                      value.valid)
         ctx = ExecutionContext(moved, device=self.device,
-                               parallelism=self.parallelism)
+                               parallelism=self.parallelism,
+                               zone_maps=self.scan_stats)
         ctx.eval_ctx = EvaluationContext(
             device=self.device,
             subquery_runner=lambda subplan: subplan.execute(ctx),
@@ -227,22 +245,45 @@ class Executor:
     # -- traced (TorchScript / ONNX-like) path ------------------------------------
 
     def _flatten_inputs(self, inputs: dict[str, TensorTable]
-                        ) -> tuple[list[Tensor], list[tuple[str, str]]]:
+                        ) -> tuple[list[Tensor], list[tuple[str, str, str]]]:
+        """Flatten input tables into the traced program's input tensor list.
+
+        Encoded columns contribute one tensor per storage part: the main
+        tensor (dictionary codes / run values) plus the encoding's auxiliary
+        tensors (dictionary / run lengths), so a traced program receives the
+        compressed layout exactly as stored.
+        """
         tensors: list[Tensor] = []
-        layout: list[tuple[str, str]] = []
+        layout: list[tuple[str, str, str]] = []
         for alias in sorted(inputs):
             table = inputs[alias]
             for name, column in table.columns():
                 tensors.append(column.tensor)
-                layout.append((alias, name))
+                layout.append((alias, name, "data"))
+                if column.encoding is not None:
+                    for part, tensor in column.encoding.parts():
+                        tensors.append(tensor)
+                        layout.append((alias, name, part))
         return tensors, layout
 
-    def _rebuild_inputs(self, tensors: list[Tensor], layout: list[tuple[str, str]],
+    def _rebuild_inputs(self, tensors: list[Tensor],
+                        layout: list[tuple[str, str, str]],
                         reference: dict[str, TensorTable]) -> dict[str, TensorTable]:
+        data: dict[tuple[str, str], Tensor] = {}
+        parts: dict[tuple[str, str], dict[str, Tensor]] = {}
+        for tensor, (alias, name, part) in zip(tensors, layout):
+            if part == "data":
+                data[(alias, name)] = tensor
+            else:
+                parts.setdefault((alias, name), {})[part] = tensor
         rebuilt: dict[str, dict[str, TensorColumn]] = {}
-        for tensor, (alias, name) in zip(tensors, layout):
-            ltype = reference[alias].column(name).ltype
-            rebuilt.setdefault(alias, {})[name] = TensorColumn(tensor, ltype)
+        for (alias, name), tensor in data.items():
+            ref_column = reference[alias].column(name)
+            encoding = ref_column.encoding
+            if encoding is not None:
+                encoding = encoding.with_parts(parts[(alias, name)])
+            rebuilt.setdefault(alias, {})[name] = TensorColumn(
+                tensor, ref_column.ltype, encoding=encoding)
         return {alias: TensorTable(columns) for alias, columns in rebuilt.items()}
 
     def compile_program(self, inputs: dict[str, TensorTable],
@@ -262,7 +303,9 @@ class Executor:
         param_specs = list(self.params)
         param_exprs = self._param_values(bound)
         param_tensors = [param_exprs[spec.name].tensor for spec in param_specs]
-        input_names = ([f"{alias}.{name}" for alias, name in layout]
+        input_names = ([f"{alias}.{name}" if part == "data"
+                        else f"{alias}.{name}#{part}"
+                        for alias, name, part in layout]
                        + [f"param:{spec.name}" for spec in param_specs])
         output_columns: list[tuple[str, LogicalType, bool]] = []
 
@@ -274,7 +317,9 @@ class Executor:
             }
             rebuilt = self._rebuild_inputs(table_tensors, layout, inputs)
             ctx = self._execution_context(rebuilt, symbolic_params)
-            result = self.plan.root.execute(ctx)
+            # Output columns are decoded before flattening so the program's
+            # outputs are always plain tensors, whatever the storage layout.
+            result = self.plan.root.execute(ctx).decoded()
             flat: list[Tensor] = []
             output_columns.clear()
             for name, column in result.columns():

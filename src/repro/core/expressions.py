@@ -30,12 +30,27 @@ class ExprValue:
     ``tensor`` is ``(n,)`` (or ``(n, m)`` for strings) for per-row values, or a
     0-d / ``(m,)`` tensor for scalars (``is_scalar=True``).  ``valid`` is an
     optional per-row validity mask (``None`` = all valid).
+
+    ``encoding`` marks a dictionary-encoded string value (see
+    :mod:`repro.storage.encodings`): ``tensor`` then holds ``(n,)`` int32
+    codes and the encoding carries the shared dictionary.  Consumers that know
+    how to operate on codes (equality, IN, LIKE, grouping, sorting) read it;
+    :func:`decode_value` materializes the plain form for everyone else.
     """
 
     tensor: Tensor
     ltype: LogicalType
     is_scalar: bool = False
     valid: Optional[Tensor] = None
+    encoding: Optional[object] = None
+
+
+def decode_value(value: ExprValue) -> ExprValue:
+    """The plain (decoded) form of an expression value; no-op when unencoded."""
+    if value.encoding is None:
+        return value
+    return ExprValue(value.encoding.decode(value.tensor), value.ltype,
+                     value.is_scalar, value.valid)
 
 
 class EvaluationContext:
@@ -94,6 +109,9 @@ def to_column(value: ExprValue, num_rows: int,
     instead of baking ``num_rows`` into the traced graph — required for
     intermediate tables whose size depends on a bind parameter.
     """
+    if value.encoding is not None and not value.is_scalar:
+        return TensorColumn(value.tensor, value.ltype, value.valid,
+                            value.encoding)
     tensor = value.tensor
     if value.is_scalar:
         if value.ltype == LogicalType.STRING:
@@ -166,10 +184,30 @@ _COMPARISON = {"=": "eq", "<>": "ne", "<": "lt", "<=": "le", ">": "gt", ">=": "g
 
 
 def evaluate(expr: ast.Expr, table: TensorTable, ctx: EvaluationContext) -> ExprValue:
-    """Evaluate a resolved expression over ``table``."""
+    """Evaluate a resolved expression over ``table``, decoded.
+
+    This is the generic entry point: the result is always in the plain
+    representation, so every operator works unchanged whatever the storage
+    encoding of the underlying columns.  Consumers that can exploit
+    dictionary codes directly (grouping, sorting, DISTINCT) use
+    :func:`evaluate_encoded` instead.
+    """
+    return decode_value(evaluate_encoded(expr, table, ctx))
+
+
+def evaluate_encoded(expr: ast.Expr, table: TensorTable,
+                     ctx: EvaluationContext) -> ExprValue:
+    """Like :func:`evaluate`, but dictionary-encoded string values keep their
+    codes (``value.encoding`` set) instead of materializing the code-point
+    matrix."""
     if isinstance(expr, ast.ColumnRef):
         column = table.column(expr.resolved or expr.display)
-        return ExprValue(column.tensor, column.ltype, False, column.valid)
+        if column.encoding is not None and column.encoding.kind != "dictionary":
+            # Run-length runs are not positional; decode defensively (scans
+            # normally materialize RLE columns before operators see them).
+            column = column.decoded()
+        return ExprValue(column.tensor, column.ltype, False, column.valid,
+                         column.encoding)
 
     if isinstance(expr, ast.Literal):
         return _evaluate_literal(expr, ctx)
@@ -206,9 +244,18 @@ def evaluate(expr: ast.Expr, table: TensorTable, ctx: EvaluationContext) -> Expr
         return _evaluate_cast(expr, table, ctx)
 
     if isinstance(expr, ast.LikeExpr):
-        operand = evaluate(expr.operand, table, ctx)
+        operand = evaluate_encoded(expr.operand, table, ctx)
         if operand.ltype != LogicalType.STRING:
             raise ExecutionError("LIKE requires a string operand")
+        if operand.encoding is not None:
+            # Match the pattern against the k dictionary entries, then fan the
+            # per-entry verdicts out to the rows with one gather — the pattern
+            # kernels run over k distinct values instead of n rows.
+            matched = strings.like(operand.encoding.dictionary, expr.pattern)
+            if expr.negated:
+                matched = ops.logical_not(matched)
+            matched = ops.take(matched, ops.cast(operand.tensor, "int64"))
+            return ExprValue(matched, LogicalType.BOOL, False, operand.valid)
         matched = strings.like(operand.tensor, expr.pattern)
         if expr.negated:
             matched = ops.logical_not(matched)
@@ -267,7 +314,7 @@ def evaluate(expr: ast.Expr, table: TensorTable, ctx: EvaluationContext) -> Expr
                          LogicalType.STRING, operand.is_scalar, operand.valid)
 
     if isinstance(expr, ast.IsNull):
-        operand = evaluate(expr.operand, table, ctx)
+        operand = evaluate_encoded(expr.operand, table, ctx)
         if operand.valid is None:
             if operand.is_scalar:
                 value = ops.tensor(bool(expr.negated), dtype="bool",
@@ -326,18 +373,20 @@ def _evaluate_binary(expr: ast.BinaryOp, table: TensorTable,
         return ExprValue(fn(left.tensor, right.tensor), LogicalType.BOOL,
                          left.is_scalar and right.is_scalar,
                          _combine_valid(left, right))
-    left = evaluate(expr.left, table, ctx)
-    right = evaluate(expr.right, table, ctx)
+    left = evaluate_encoded(expr.left, table, ctx)
+    right = evaluate_encoded(expr.right, table, ctx)
     if op in _COMPARISON:
         if left.ltype == LogicalType.STRING or right.ltype == LogicalType.STRING:
             return _string_comparison(op, expr, left, right)
+        left, right = decode_value(left), decode_value(right)
         result = getattr(ops, _COMPARISON[op])(left.tensor, right.tensor)
         return ExprValue(result, LogicalType.BOOL,
                          left.is_scalar and right.is_scalar,
                          _combine_valid(left, right))
     if op in _ARITHMETIC:
         otype = expr.otype or LogicalType.FLOAT
-        return _numeric_binary(_ARITHMETIC[op], left, right, otype)
+        return _numeric_binary(_ARITHMETIC[op], decode_value(left),
+                               decode_value(right), otype)
     if op == "||":
         raise UnsupportedOperationError("string concatenation is not supported")
     raise UnsupportedOperationError(f"unsupported binary operator {op!r}")
@@ -349,20 +398,39 @@ def _string_comparison(op: str, expr: ast.BinaryOp, left: ExprValue,
         raise UnsupportedOperationError(
             "only equality comparisons are supported for strings"
         )
-    # literal vs column
+    # literal/parameter vs column
     if left.is_scalar != right.is_scalar:
         column, literal_expr = ((right, expr.left) if left.is_scalar
                                 else (left, expr.right))
-        if isinstance(literal_expr, ast.Literal):
+        literal = left if left.is_scalar else right
+        if column.encoding is not None:
+            # Compare against the k dictionary entries, then gather the
+            # per-entry verdict per row — O(k·m) comparison work instead of
+            # O(n·m), and the bound value of a parameter flows through the
+            # same dictionary probe at run time.
+            dictionary = column.encoding.dictionary
+            if isinstance(literal_expr, ast.Literal):
+                matches = strings.equals_literal(dictionary, str(literal_expr.value))
+            else:
+                matches = strings.equals_columns(
+                    dictionary, ops.reshape(literal.tensor,
+                                            (1, literal.tensor.shape[-1])))
+            result = ops.take(matches, ops.cast(column.tensor, "int64"))
+        elif isinstance(literal_expr, ast.Literal):
             result = strings.equals_literal(column.tensor, str(literal_expr.value))
         else:
-            literal = left if left.is_scalar else right
             result = strings.equals_columns(
                 column.tensor, ops.reshape(literal.tensor, (1, literal.tensor.shape[-1]))
             )
         scalar = False
     else:
-        result = strings.equals_columns(left.tensor, right.tensor)
+        if (left.encoding is not None and right.encoding is not None
+                and left.encoding.dictionary is right.encoding.dictionary):
+            # Same dictionary: equal codes <=> equal strings.
+            result = ops.eq(left.tensor, right.tensor)
+        else:
+            left, right = decode_value(left), decode_value(right)
+            result = strings.equals_columns(left.tensor, right.tensor)
         scalar = left.is_scalar and right.is_scalar
     if op == "<>":
         result = ops.logical_not(result)
@@ -430,12 +498,16 @@ def _evaluate_cast(expr: ast.Cast, table: TensorTable,
 
 def _evaluate_in_list(expr: ast.InList, table: TensorTable,
                       ctx: EvaluationContext) -> ExprValue:
-    operand = evaluate(expr.operand, table, ctx)
+    operand = evaluate_encoded(expr.operand, table, ctx)
     if operand.ltype == LogicalType.STRING:
+        # Dictionary-encoded operands probe the k dictionary entries per item
+        # and gather one combined verdict; plain operands compare row-wise.
+        haystack = (operand.encoding.dictionary if operand.encoding is not None
+                    else operand.tensor)
         result = None
         for item in expr.items:
             if isinstance(item, ast.Literal):
-                this = strings.equals_literal(operand.tensor, str(item.value))
+                this = strings.equals_literal(haystack, str(item.value))
             else:
                 value = evaluate(item, table, ctx)
                 if not value.is_scalar or value.ltype != LogicalType.STRING:
@@ -443,10 +515,12 @@ def _evaluate_in_list(expr: ast.InList, table: TensorTable,
                         "IN over strings requires string literals or parameters"
                     )
                 this = strings.equals_columns(
-                    operand.tensor,
+                    haystack,
                     ops.reshape(value.tensor, (1, value.tensor.shape[-1])),
                 )
             result = this if result is None else ops.logical_or(result, this)
+        if operand.encoding is not None and result is not None:
+            result = ops.take(result, ops.cast(operand.tensor, "int64"))
     else:
         values = [evaluate(item, table, ctx).tensor for item in expr.items]
         stacked = ops.stack(values) if len(values) > 1 else ops.reshape(values[0], (1,))
@@ -498,6 +572,15 @@ def _evaluate_predict(expr: ast.PredictExpr, table: TensorTable,
 def _evaluate_scalar_function(expr: ast.FuncCall, table: TensorTable,
                               ctx: EvaluationContext) -> ExprValue:
     name = expr.name.lower()
+    if name == "length":
+        arg = evaluate_encoded(expr.args[0], table, ctx)
+        if arg.encoding is not None:
+            # Length of each of the k dictionary entries, gathered per row.
+            lengths = strings.row_lengths(arg.encoding.dictionary)
+            return ExprValue(ops.take(lengths, ops.cast(arg.tensor, "int64")),
+                             LogicalType.INT, False, arg.valid)
+        return ExprValue(strings.row_lengths(arg.tensor), LogicalType.INT,
+                         arg.is_scalar, arg.valid)
     args = [evaluate(arg, table, ctx) for arg in expr.args]
     if name == "abs":
         return ExprValue(ops.abs_(args[0].tensor), args[0].ltype,
@@ -511,9 +594,6 @@ def _evaluate_scalar_function(expr: ast.FuncCall, table: TensorTable,
     if name in ("year", "month", "day"):
         return ExprValue(datetime_ops.extract_field(args[0].tensor, name),
                          LogicalType.INT, args[0].is_scalar, args[0].valid)
-    if name == "length":
-        return ExprValue(strings.row_lengths(args[0].tensor), LogicalType.INT,
-                         args[0].is_scalar, args[0].valid)
     if name == "coalesce":
         return _evaluate_coalesce(args, table.num_rows, table.anchor)
     raise UnsupportedOperationError(f"unsupported function {expr.name!r}")

@@ -12,9 +12,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.columnar import LogicalType, TensorColumn, TensorTable
-from repro.core.expressions import evaluate, to_column
+from repro.core.expressions import evaluate, evaluate_encoded, to_column
 from repro.core.operators.base import ExecutionContext, TensorOperator
-from repro.core.operators.grouping import combine_ids, factorize_single, id_count
+from repro.core.operators.grouping import (
+    combine_ids,
+    factorize_single,
+    id_count,
+    static_radix_group_ids,
+)
 from repro.errors import ExecutionError, UnsupportedOperationError
 from repro.frontend.ast import Expr
 from repro.frontend.logical import AggregateCall
@@ -58,25 +63,43 @@ class HashAggregateOperator(TensorOperator):
 
     @staticmethod
     def _group_ids(key_values, num_rows: int, device,
-                   anchor: "Tensor | None" = None) -> tuple[Tensor, Tensor]:
-        """Densified group ids plus the group count as a 0-d tensor.
+                   anchor: "Tensor | None" = None
+                   ) -> "tuple[Tensor, Tensor | int, bool]":
+        """``(group ids, group count, needs_compaction)`` for the key columns.
 
-        The count stays a tensor (never ``.item()``) so scatter sizes are
-        recomputed at run time when a prepared query is re-executed with a
-        binding that changes how many rows / groups survive the child plan.
+        All-dictionary keys take the sort-free static-radix path
+        (:func:`~repro.core.operators.grouping.static_radix_group_ids`): the
+        id space then covers every dictionary combination, so the caller must
+        drop empty groups (``needs_compaction=True``, see
+        :meth:`_group_presence`).  Otherwise keys are densified with
+        sort-based factorization and the count stays a run-time tensor (never
+        ``.item()``) so scatter sizes are recomputed when a prepared query is
+        re-executed with a binding that changes how many rows / groups
+        survive the child plan.
         """
         if not key_values:
             if anchor is not None:
                 group_ids = ops.full_like_rows(anchor, 0, dtype="int64")
             else:
                 group_ids = ops.zeros((num_rows,), dtype="int64", device=device)
-            return group_ids, ops.tensor(1, dtype="int64", device=device)
+            return group_ids, ops.tensor(1, dtype="int64", device=device), False
+        static = static_radix_group_ids(key_values)
+        if static is not None:
+            return static[0], static[1], True
         ids = [factorize_single(value) for value in key_values]
         group_ids = combine_ids(ids)
         # id_count is empty-safe (0 groups for 0 rows), so no Python branch on
         # num_rows may be traced here — it would bake the wrong size into the
         # program for every other binding.
-        return group_ids, id_count(group_ids)
+        return group_ids, id_count(group_ids), False
+
+    @staticmethod
+    def _group_presence(group_ids: Tensor, num_groups,
+                        compact: bool) -> "Tensor | None":
+        """Mask of non-empty groups (``None`` when ids are already dense)."""
+        if not compact:
+            return None
+        return ops.gt(ops.bincount(group_ids, minlength=num_groups), 0)
 
     def _aggregate_column(self, call: AggregateCall, table: TensorTable,
                           group_ids: Tensor, num_groups: Tensor,
@@ -85,7 +108,9 @@ class HashAggregateOperator(TensorOperator):
             counts = ops.bincount(group_ids, minlength=num_groups)
             return TensorColumn(ops.cast(counts, "int64"), LogicalType.INT)
 
-        value = evaluate(call.expr, table, ctx.eval_ctx)
+        # COUNT (and COUNT DISTINCT) work directly on dictionary codes; the
+        # numeric reductions below only ever see plain columns.
+        value = evaluate_encoded(call.expr, table, ctx.eval_ctx)
         column = to_column(value, table.num_rows, like=table.anchor)
         data = column.tensor
 
@@ -159,7 +184,8 @@ class HashAggregateOperator(TensorOperator):
         from repro.core.expressions import ExprValue
 
         value_ids = factorize_single(
-            ExprValue(column.tensor, column.ltype, False, column.valid)
+            ExprValue(column.tensor, column.ltype, False, column.valid,
+                      column.encoding)
         )
         radix = id_count(value_ids)
         pair_ids = ops.add(ops.mul(group_ids, radix), value_ids)
@@ -178,21 +204,32 @@ class HashAggregateOperator(TensorOperator):
         """Aggregate one materialized table (the single-stream path)."""
         num_rows = table.num_rows
 
-        key_values = [evaluate(expr, table, ctx.eval_ctx) for expr in self.group_exprs]
-        group_ids, num_groups = self._group_ids(key_values, num_rows, table.device,
-                                                anchor=table.anchor)
+        # Group keys keep dictionary codes: densification runs on ``(n,)``
+        # integers and the output key columns stay encoded until consumed.
+        key_values = [evaluate_encoded(expr, table, ctx.eval_ctx)
+                      for expr in self.group_exprs]
+        group_ids, num_groups, compact = self._group_ids(
+            key_values, num_rows, table.device, anchor=table.anchor)
+        presence = self._group_presence(group_ids, num_groups, compact)
 
         columns: dict[str, TensorColumn] = {}
         if self.group_exprs:
             representatives = ops.scatter_min(
                 group_ids, ops.arange_like(group_ids), num_groups
             )
+            if presence is not None:
+                # Static-radix ids cover every dictionary combination; keep
+                # only the representatives of groups some row actually hit.
+                representatives = ops.boolean_mask(representatives, presence)
             for value, name in zip(key_values, self.group_names):
                 column = to_column(value, num_rows, like=table.anchor)
                 columns[name] = column.gather(representatives)
 
         for call in self.aggregates:
-            columns[call.output_name] = self._aggregate_column(
+            column = self._aggregate_column(
                 call, table, group_ids, num_groups, ctx
             )
+            if presence is not None:
+                column = column.mask(presence)
+            columns[call.output_name] = column
         return TensorTable(columns)

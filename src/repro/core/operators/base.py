@@ -23,12 +23,17 @@ class ExecutionContext:
 
     def __init__(self, inputs: dict[str, TensorTable],
                  eval_ctx: Optional[EvaluationContext] = None,
-                 device: Device | str = "cpu", parallelism: int = 1):
+                 device: Device | str = "cpu", parallelism: int = 1,
+                 zone_maps: Optional[dict] = None):
         self.inputs = inputs
         self.device = parse_device(device)
         self.eval_ctx = eval_ctx or EvaluationContext(device=self.device)
         #: Worker lanes the executor granted to morsel-driven operators.
         self.parallelism = max(1, int(parallelism))
+        #: Storage statistics per scan alias
+        #: (``repro.storage.TableStatistics``); scans consult these zone maps
+        #: for block pruning.  ``None`` disables pruning.
+        self.zone_maps = zone_maps or {}
 
     def input_table(self, alias: str) -> TensorTable:
         if alias not in self.inputs:

@@ -17,8 +17,14 @@ from repro.tensor import Tensor, ops
 
 
 def factorize_single(value: ExprValue) -> Tensor:
-    """Dense int64 ids (0..G-1) for one key column."""
-    if value.ltype == LogicalType.STRING:
+    """Dense int64 ids (0..G-1) for one key column.
+
+    Dictionary-encoded string keys densify their int32 codes directly — one
+    ``unique`` over ``(n,)`` integers instead of the lexsort-based
+    ``dense_rank`` over the ``(n × m)`` code-point matrix.  Because the
+    dictionary is sorted, the resulting ids are still in lexicographic order.
+    """
+    if value.ltype == LogicalType.STRING and value.encoding is None:
         return strings.dense_rank(value.tensor)
     _, inverse, _ = ops.unique(value.tensor)
     return inverse
@@ -62,6 +68,44 @@ def factorize_pair(left: ExprValue, right: ExprValue) -> tuple[Tensor, Tensor]:
     # parameter rebinding that changes either input's size replays correctly.
     left_ids, right_ids = ops.split_rows(ids, left.tensor)
     return left_ids, right_ids
+
+
+#: Upper bound on the static group-id space of the dictionary fast path
+#: (product of dictionary cardinalities); beyond it the scatter buffers would
+#: dwarf the sort the path avoids.
+MAX_STATIC_GROUP_IDS = 1 << 20
+
+
+def static_radix_group_ids(key_values: list[ExprValue]
+                           ) -> "tuple[Tensor, int] | None":
+    """Sort-free group ids when *every* key is dictionary-encoded.
+
+    Dictionary codes are already dense ids over the column's dictionary, so a
+    composite group id is just a radix mix with the (static) dictionary
+    cardinalities — no ``unique`` / ``dense_rank`` sort at all.  The id space
+    covers every dictionary combination, including ones absent from the rows
+    (or filtered out by the current parameter binding), so callers must
+    compact empty groups afterwards; returns ``None`` when any key is not
+    dictionary-encoded or the id space would be too large.
+    """
+    if not key_values or any(
+            value.encoding is None or getattr(value.encoding, "kind", None)
+            != "dictionary" for value in key_values):
+        return None
+    num_groups = 1
+    for value in key_values:
+        num_groups *= max(1, value.encoding.cardinality)
+    if num_groups > MAX_STATIC_GROUP_IDS:
+        return None
+    combined: Tensor | None = None
+    for value in key_values:
+        codes = ops.cast(value.tensor, "int64")
+        if combined is None:
+            combined = codes
+        else:
+            combined = ops.add(
+                ops.mul(combined, value.encoding.cardinality), codes)
+    return combined, num_groups
 
 
 def combine_ids(id_columns: list[Tensor]) -> Tensor:

@@ -13,7 +13,12 @@ from __future__ import annotations
 from typing import Optional
 
 
-from repro.core.columnar import LogicalType, TensorColumn, TensorTable
+from repro.core.columnar import (
+    LogicalType,
+    TensorColumn,
+    TensorTable,
+    concat_columns,
+)
 from repro.core.expressions import as_mask, evaluate
 from repro.core.operators.base import ExecutionContext, TensorOperator
 from repro.core.operators.grouping import combine_ids, factorize_pair
@@ -34,20 +39,10 @@ def merge_tables(left: TensorTable, right: TensorTable) -> TensorTable:
 
 def concat_tables(first: TensorTable, second: TensorTable) -> TensorTable:
     """Row-wise concatenation of two tables with identical column sets."""
-    columns = {}
-    for name, top in first.columns():
-        bottom = second.column(name)
-        if top.ltype == LogicalType.STRING:
-            width = max(top.tensor.shape[1], bottom.tensor.shape[1])
-            data = ops.concat([ops.pad2d(top.tensor, width),
-                               ops.pad2d(bottom.tensor, width)], axis=0)
-        else:
-            data = ops.concat([top.tensor, bottom.tensor], axis=0)
-        valid = None
-        if top.valid is not None or bottom.valid is not None:
-            valid = ops.concat([top.validity(), bottom.validity()], axis=0)
-        columns[name] = TensorColumn(data, top.ltype, valid)
-    return TensorTable(columns)
+    return TensorTable({
+        name: concat_columns([top, second.column(name)])
+        for name, top in first.columns()
+    })
 
 
 def _null_column_like(column: TensorColumn, num_rows: int,
@@ -61,7 +56,7 @@ def _null_column_like(column: TensorColumn, num_rows: int,
     if anchor is not None:
         if column.ltype == LogicalType.STRING:
             data = ops.full_like_rows(anchor, 0, dtype="int32",
-                                      width=column.tensor.shape[1])
+                                      width=column.string_width)
         elif column.ltype == LogicalType.FLOAT:
             data = ops.full_like_rows(anchor, 0, dtype="float64")
         elif column.ltype == LogicalType.BOOL:
@@ -71,7 +66,8 @@ def _null_column_like(column: TensorColumn, num_rows: int,
         valid = ops.full_like_rows(anchor, False, dtype="bool")
         return TensorColumn(data, column.ltype, valid)
     if column.ltype == LogicalType.STRING:
-        data = ops.zeros((num_rows, column.tensor.shape[1]), dtype="int32", device=device)
+        data = ops.zeros((num_rows, column.string_width), dtype="int32",
+                         device=device)
     elif column.ltype == LogicalType.FLOAT:
         data = ops.zeros((num_rows,), dtype="float64", device=device)
     elif column.ltype == LogicalType.BOOL:

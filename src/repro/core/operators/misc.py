@@ -46,7 +46,9 @@ class DistinctOperator(TensorOperator):
         table = self.children[0].execute(ctx)
         id_columns = []
         for _, column in table.columns():
-            value = ExprValue(column.tensor, column.ltype, False, column.valid)
+            column = column._positional()  # RLE runs cannot densify in place
+            value = ExprValue(column.tensor, column.ltype, False, column.valid,
+                              column.encoding)
             id_columns.append(factorize_single(value))
         group_ids = combine_ids(id_columns)
         num_groups = id_count(group_ids)

@@ -37,9 +37,16 @@ from repro.core.columnar import (
     LogicalType,
     TensorColumn,
     TensorTable,
+    concat_columns,
     morsel_bounds,
 )
-from repro.core.expressions import ExprValue, as_mask, evaluate, to_column
+from repro.core.expressions import (
+    ExprValue,
+    as_mask,
+    evaluate,
+    evaluate_encoded,
+    to_column,
+)
 from repro.core.operators.aggregate import HashAggregateOperator, masked_for_reduce
 from repro.core.operators.base import ExecutionContext, TensorOperator
 from repro.core.operators.filter import FilterOperator
@@ -140,22 +147,10 @@ def concat_morsels(tables: list[TensorTable]) -> TensorTable:
         raise ExecutionError("concat_morsels() needs at least one morsel")
     if len(tables) == 1:
         return tables[0]
-    columns: dict[str, TensorColumn] = {}
-    for name in tables[0].column_names:
-        cols = [t.column(name) for t in tables]
-        ltype = cols[0].ltype
-        if ltype == LogicalType.STRING:
-            width = max(c.tensor.shape[1] for c in cols)
-            parts = [c.tensor if c.tensor.shape[1] == width
-                     else ops.pad2d(c.tensor, width) for c in cols]
-        else:
-            parts = [c.tensor for c in cols]
-        data = ops.concat(parts, axis=0)
-        valid = None
-        if any(c.valid is not None for c in cols):
-            valid = ops.concat([c.validity() for c in cols], axis=0)
-        columns[name] = TensorColumn(data, ltype, valid)
-    return TensorTable(columns)
+    return TensorTable({
+        name: concat_columns([t.column(name) for t in tables])
+        for name in tables[0].column_names
+    })
 
 
 class MorselWorkerPool:
@@ -238,6 +233,12 @@ class MorselScanOperator(ScanOperator, MorselSource):
     """
 
     name = "MorselScan"
+
+    #: A traced dynamic row mask would make this scan's output size depend on
+    #: the binding while its morsel bounds are baked at trace time — so
+    #: parameterized conjuncts only prune here when no trace is recording
+    #: (static literal conjuncts always prune).
+    traced_dynamic_pruning = False
 
     def __init__(self, table: str, alias: str, fields: list[Field],
                  parallelism: int, morsel_rows: int = DEFAULT_MORSEL_ROWS):
@@ -456,22 +457,30 @@ class ParallelHashAggregateOperator(HashAggregateOperator):
 
     def _partial_table(self, sub: TensorTable, ctx: ExecutionContext) -> TensorTable:
         num_rows = sub.num_rows
-        key_values = [evaluate(expr, sub, ctx.eval_ctx) for expr in self.group_exprs]
-        group_ids, num_groups = self._group_ids(key_values, num_rows, sub.device,
-                                                anchor=sub.anchor)
+        # Dictionary-encoded keys keep their codes through the partial tables:
+        # every morsel shares the stored column's dictionary, so the merge
+        # phase re-densifies codes without ever touching code-point matrices.
+        key_values = [evaluate_encoded(expr, sub, ctx.eval_ctx)
+                      for expr in self.group_exprs]
+        group_ids, num_groups, compact = self._group_ids(
+            key_values, num_rows, sub.device, anchor=sub.anchor)
+        presence = self._group_presence(group_ids, num_groups, compact)
 
         columns: dict[str, TensorColumn] = {}
         if self.group_exprs:
             representatives = ops.scatter_min(
                 group_ids, ops.arange_like(group_ids), num_groups
             )
+            if presence is not None:
+                representatives = ops.boolean_mask(representatives, presence)
             for value, name in zip(key_values, self.group_names):
                 columns[name] = to_column(value, num_rows,
                                           like=sub.anchor).gather(representatives)
         for index, call in enumerate(self.aggregates):
-            columns.update(
-                self._partial_columns(index, call, sub, group_ids, num_groups, ctx)
-            )
+            for name, column in self._partial_columns(
+                    index, call, sub, group_ids, num_groups, ctx).items():
+                columns[name] = (column.mask(presence) if presence is not None
+                                 else column)
         return TensorTable(columns)
 
     def _partial_columns(self, index: int, call: AggregateCall, table: TensorTable,
@@ -539,24 +548,31 @@ class ParallelHashAggregateOperator(HashAggregateOperator):
                         ) -> TensorTable:
         num_rows = merged.num_rows
         key_values = [
-            ExprValue(column.tensor, column.ltype, False, column.valid)
+            ExprValue(column.tensor, column.ltype, False, column.valid,
+                      column.encoding)
             for column in (merged.column(name) for name in self.group_names)
         ]
-        group_ids, num_groups = self._group_ids(key_values, num_rows, merged.device,
-                                                anchor=merged.anchor)
+        group_ids, num_groups, compact = self._group_ids(
+            key_values, num_rows, merged.device, anchor=merged.anchor)
+        presence = self._group_presence(group_ids, num_groups, compact)
 
         columns: dict[str, TensorColumn] = {}
         if self.group_exprs:
             representatives = ops.scatter_min(
                 group_ids, ops.arange_like(group_ids), num_groups
             )
+            if presence is not None:
+                representatives = ops.boolean_mask(representatives, presence)
             for name in self.group_names:
                 columns[name] = merged.column(name).gather(representatives)
 
         for index, call in enumerate(self.aggregates):
-            columns[call.output_name] = self._merge_column(
+            column = self._merge_column(
                 index, call, merged, group_ids, num_groups
             )
+            if presence is not None:
+                column = column.mask(presence)
+            columns[call.output_name] = column
         return TensorTable(columns)
 
     def _merge_column(self, index: int, call: AggregateCall, merged: TensorTable,

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.core.columnar import LogicalType, TensorTable
-from repro.core.expressions import evaluate, to_column
+from repro.core.expressions import evaluate_encoded, to_column
 from repro.core.operators.base import ExecutionContext, TensorOperator
 from repro.errors import UnsupportedOperationError
 from repro.frontend.ast import Expr
@@ -31,9 +31,14 @@ class SortOperator(TensorOperator):
         """Sub-keys in priority order (primary first)."""
         subkeys: list[Tensor] = []
         for expr, ascending in self.keys:
-            value = evaluate(expr, table, ctx.eval_ctx)
+            value = evaluate_encoded(expr, table, ctx.eval_ctx)
             column = to_column(value, table.num_rows, like=table.anchor)
-            if column.ltype == LogicalType.STRING:
+            if column.encoding is not None:
+                # Dictionary codes are order-preserving (sorted dictionary):
+                # one integer sub-key replaces m per-character sub-keys.
+                key = ops.cast(column.tensor, "int64")
+                subkeys.append(key if ascending else ops.neg(key))
+            elif column.ltype == LogicalType.STRING:
                 codes = column.tensor
                 for char_index in range(codes.shape[1]):
                     char_key = ops.slice_(codes, (slice(None), char_index))

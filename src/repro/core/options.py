@@ -39,6 +39,13 @@ class ExecutionOptions:
         auto_parameterize: lift literals out of ad-hoc ``sql()`` calls into
             bind parameters, so queries differing only in constants share one
             compiled plan (opt-in; see ``repro.core.parameters``).
+        encoding: storage-encoding configuration for table conversion —
+            ``auto`` (dictionary-encode low-cardinality strings, run-length-
+            encode sorted numerics), ``dictionary``, ``rle``, or ``off``
+            (plain tensors).  Part of the plan-cache and conversion-cache
+            keys: a traced program is tied to the storage layout it was
+            traced against, so changing the encoding can never serve stale
+            tensors.
     """
 
     backend: Optional[str] = None
@@ -47,6 +54,7 @@ class ExecutionOptions:
     use_cache: bool = True
     parallelism: Optional[int] = None
     auto_parameterize: bool = False
+    encoding: str = "auto"
 
     def resolved(self, default_backend: str, default_device: Device | str,
                  default_parallelism: int = 1) -> "ExecutionOptions":
@@ -65,7 +73,8 @@ class ExecutionOptions:
 
     def cache_key(self) -> tuple:
         """The options' contribution to the session plan-cache key."""
-        return (self.backend, str(self.device), self.optimize, self.parallelism)
+        return (self.backend, str(self.device), self.optimize, self.parallelism,
+                self.encoding)
 
 
 #: Legacy keyword arguments accepted (deprecated) by the session entry points.

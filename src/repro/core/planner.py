@@ -5,6 +5,17 @@ operator variants (see :mod:`repro.core.operators.parallel`) wherever the
 estimated input cardinality clears :data:`PARALLEL_THRESHOLD_ROWS` and the
 operator's expressions are morsel-safe; everything else keeps the serial
 single-stream implementation.
+
+The planner is also where storage statistics enter the plan:
+
+* a filter sitting directly on a base-table scan has its conjunctive
+  range/equality/IN predicates compiled into **zone-map pruning** conjuncts
+  attached to the scan (see :mod:`repro.storage.pruning`), so whole
+  morsel-aligned blocks are dropped before any kernel runs;
+* filter **selectivity estimates** from the same statistics refine the
+  cardinality estimates feeding the ``PARALLEL_THRESHOLD_ROWS`` decision, so
+  a highly selective filter no longer forces parallel (partial-merge)
+  operators onto a handful of surviving rows.
 """
 
 from __future__ import annotations
@@ -132,13 +143,33 @@ class Planner:
     def __init__(self, parallelism: int = 1,
                  table_rows: Optional[Mapping[str, int]] = None,
                  morsel_rows: int = DEFAULT_MORSEL_ROWS,
-                 use_threads: bool = False) -> None:
+                 use_threads: bool = False,
+                 table_stats: Optional[Mapping[str, object]] = None) -> None:
         self._scans: list[ScanOperator] = []
         self.parallelism = max(1, int(parallelism))
         self.table_rows = {name.lower(): rows
                            for name, rows in (table_rows or {}).items()}
         self.morsel_rows = morsel_rows
         self.use_threads = use_threads
+        #: Per-table storage statistics (``repro.storage.TableStatistics``):
+        #: row counts, NDV and zone maps, keyed by lower-cased table name.
+        self.table_stats = {name.lower(): stats
+                            for name, stats in (table_stats or {}).items()
+                            if stats is not None}
+        # Column-name → statistics lookup for selectivity estimation.  Only
+        # unambiguous names participate: a column name two registered tables
+        # share could resolve to the wrong table's value distribution, so it
+        # conservatively contributes no estimate (selectivity 1.0).
+        seen: dict[str, int] = {}
+        for table in self.table_stats.values():
+            for column in table.columns:
+                seen[column] = seen.get(column, 0) + 1
+        self._column_stats = {
+            column: stats
+            for table in self.table_stats.values()
+            for column, stats in table.columns.items()
+            if seen[column] == 1
+        }
         self._row_estimates: dict[int, int] = {}
         self._params: dict[str, ParameterSpec] = {}
         self._model_names: set[str] = set()
@@ -178,17 +209,29 @@ class Planner:
     # -- cardinality estimation --------------------------------------------
 
     def _estimate_rows(self, node: ir.IRNode) -> int:
-        """Upper-bound cardinality estimate: scans report registered row
-        counts; every other operator forwards the max over its children (no
-        selectivity modelling — the estimate only gates parallelism)."""
+        """Cardinality estimate gating the parallel-operator decision.
+
+        Scans report registered row counts (from the storage statistics when
+        available); filters scale their child's estimate by the selectivity
+        the zone-map statistics predict for their prunable conjuncts; every
+        other operator forwards the max over its children."""
         cached = self._row_estimates.get(id(node))
         if cached is not None:
             return cached
         if node.op == ir.SCAN:
-            estimate = self.table_rows.get(node.attrs["table"].lower(), 0)
+            table_key = node.attrs["table"].lower()
+            stats = self.table_stats.get(table_key)
+            estimate = (stats.row_count if stats is not None
+                        else self.table_rows.get(table_key, 0))
         else:
             estimate = max((self._estimate_rows(child) for child in node.children),
                            default=0)
+            if node.op == ir.FILTER and self._column_stats:
+                from repro.storage.pruning import estimate_selectivity
+
+                selectivity = estimate_selectivity(node.attrs["condition"],
+                                                   self._column_stats)
+                estimate = int(estimate * selectivity)
         self._row_estimates[id(node)] = estimate
         return estimate
 
@@ -224,16 +267,17 @@ class Planner:
             self._scans.append(scan)
             return scan
         if node.op == ir.FILTER:
+            child_op = self._plan_node(node.children[0])
+            self._attach_scan_pruning(node.children[0], child_op,
+                                      attrs["condition"])
             if (self._parallel_ok(node.children[0])
-                    and exprs_are_morsel_safe([attrs["condition"]])):
-                child_op = self._plan_node(node.children[0])
-                if self._morsel_chain_ok(child_op):
-                    return MorselFilterOperator(
-                        child_op, attrs["condition"],
-                        parallelism=self.parallelism, morsel_rows=self.morsel_rows,
-                        use_threads=self.use_threads)
-                return FilterOperator(child_op, attrs["condition"])
-            return FilterOperator(self._plan_node(node.children[0]), attrs["condition"])
+                    and exprs_are_morsel_safe([attrs["condition"]])
+                    and self._morsel_chain_ok(child_op)):
+                return MorselFilterOperator(
+                    child_op, attrs["condition"],
+                    parallelism=self.parallelism, morsel_rows=self.morsel_rows,
+                    use_threads=self.use_threads)
+            return FilterOperator(child_op, attrs["condition"])
         if node.op == ir.PROJECT:
             if (self._parallel_ok(node.children[0])
                     and exprs_are_morsel_safe(attrs["exprs"])):
@@ -300,6 +344,34 @@ class Planner:
                                   attrs["output_fields"])
         raise PlanningError(f"no tensor implementation for IR op {node.op!r}")
 
+    # -- zone-map pruning ----------------------------------------------------
+
+    def _attach_scan_pruning(self, child_ir: ir.IRNode,
+                             child_op: TensorOperator,
+                             condition: ast.Expr) -> None:
+        """Compile a filter's prunable conjuncts onto its base-table scan.
+
+        Only a filter sitting *directly* on a scan prunes (the common shape
+        after predicate pushdown); the zone maps describe stored blocks, so
+        any intermediate operator would invalidate the row↔block alignment.
+        Pruning is conservative — the filter itself still runs — so missing
+        statistics or unmatched conjuncts simply never prune.
+        """
+        if child_ir.op != ir.SCAN or not isinstance(child_op, ScanOperator):
+            return
+        from repro.storage.pruning import (
+            MIN_PRUNING_BLOCKS,
+            annotate_discrimination,
+            extract_pruning_conjuncts,
+        )
+
+        stats = self.table_stats.get(child_ir.attrs["table"].lower())
+        if stats is None or stats.num_blocks < MIN_PRUNING_BLOCKS:
+            return
+        field_names = [field.name for field in child_op.fields]
+        conjuncts = extract_pruning_conjuncts(condition, field_names)
+        child_op.pruning = annotate_discrimination(conjuncts, stats)
+
     # -- runtime subqueries --------------------------------------------------
 
     def _plan_embedded_subqueries(self, node: ir.IRNode) -> None:
@@ -325,7 +397,9 @@ class Planner:
 def plan_ir(root: ir.IRNode, parallelism: int = 1,
             table_rows: Optional[Mapping[str, int]] = None,
             morsel_rows: int = DEFAULT_MORSEL_ROWS,
-            use_threads: bool = False) -> OperatorPlan:
+            use_threads: bool = False,
+            table_stats: Optional[Mapping[str, object]] = None) -> OperatorPlan:
     """Convenience wrapper: plan an IR tree into an :class:`OperatorPlan`."""
     return Planner(parallelism=parallelism, table_rows=table_rows,
-                   morsel_rows=morsel_rows, use_threads=use_threads).plan(root)
+                   morsel_rows=morsel_rows, use_threads=use_threads,
+                   table_stats=table_stats).plan(root)

@@ -50,7 +50,7 @@ from typing import Any, Callable, Iterable, Optional, Sequence
 
 from repro.backends import BACKENDS
 from repro.core import ir_builder, ir_optimizer
-from repro.core.columnar import TensorTable, TensorColumn
+from repro.core.columnar import TensorTable
 from repro.core.executor import ExecutionResult, Executor
 from repro.core.ir import IRNode
 from repro.core.options import ExecutionOptions, merge_legacy_kwargs
@@ -95,6 +95,17 @@ class CompiledQuery:
         """ML models referenced by ``PREDICT`` calls in this plan."""
         return self.operator_plan.model_names
 
+    def _prepare_execution(self) -> dict:
+        """Fresh inputs *and* fresh scan statistics for this execution.
+
+        Both are re-resolved from the session per execution so a long-lived
+        CompiledQuery held across a ``register()`` of new data never prunes
+        against stale zone maps — the statistics always describe the same
+        table version the converted inputs come from.
+        """
+        self.executor.scan_stats = self.session.scan_statistics(self.operator_plan)
+        return self.session.prepare_inputs(self.executor)
+
     def execute(self, profile: bool = False,
                 params: Optional[dict] = None) -> ExecutionResult:
         """Run the query against the session's registered tables.
@@ -103,7 +114,7 @@ class CompiledQuery:
         :class:`~repro.errors.BindingError`\\ s); re-executions with new
         bindings reuse the traced program.
         """
-        inputs = self.session.prepare_inputs(self.executor)
+        inputs = self._prepare_execution()
         return self.executor.execute(inputs, profile=profile, params=params)
 
     def run(self, params: Optional[dict] = None) -> DataFrame:
@@ -124,11 +135,11 @@ class CompiledQuery:
 
     def executor_graph(self, params: Optional[dict] = None):
         """Traced tensor graph of the query (Figure-4 style artifact)."""
-        inputs = self.session.prepare_inputs(self.executor)
+        inputs = self._prepare_execution()
         return self.executor.executor_graph(inputs, params=params)
 
     def export_onnx(self, path: str, params: Optional[dict] = None) -> None:
-        inputs = self.session.prepare_inputs(self.executor)
+        inputs = self._prepare_execution()
         self.executor.export_onnx(inputs, path, params=params)
 
 
@@ -382,9 +393,12 @@ class TQPSession:
             query_ir, parallelism=resolved.parallelism,
             table_rows={name: frame.num_rows
                         for name, frame in self._dataframes.items()},
-            use_threads=self.parallel_mode == "threads")
+            use_threads=self.parallel_mode == "threads",
+            table_stats={name: self.catalog.statistics(name)
+                         for name in self._dataframes})
         executor = Executor(operator_plan, models=dict(self._models),
-                            options=resolved)
+                            options=resolved,
+                            scan_stats=self.scan_statistics(operator_plan))
         compiled = CompiledQuery(sql=sql, physical_plan=physical, ir=query_ir,
                                  operator_plan=operator_plan, executor=executor,
                                  session=self, options=resolved,
@@ -433,28 +447,51 @@ class TQPSession:
 
     # -- input preparation (data conversion phase) ----------------------------------
 
+    def scan_statistics(self, plan: OperatorPlan) -> dict[str, "object"]:
+        """Storage statistics (zone maps) per scan alias of a plan.
+
+        Handed to the :class:`Executor` so scans can prune morsel-aligned
+        blocks; the statistics always describe the current table version
+        (registration recomputes them), matching the inputs
+        :meth:`prepare_inputs` serves for the same plan.
+        """
+        stats = {}
+        for scan in plan.scans:
+            table_stats = self.catalog.statistics(scan.table)
+            if table_stats is not None:
+                stats[scan.alias] = table_stats
+        return stats
+
     def prepare_inputs(self, executor: Executor) -> dict[str, TensorTable]:
         """Convert registered DataFrames into tensor tables for an executor.
 
-        Conversions are cached per ``(table, columns, table version)`` so
-        repeated executions — benchmark iterations, serving loops — only pay
-        the encoding cost once, while a ``register()`` of new data under the
-        same name can never serve stale converted columns to a long-lived
-        :class:`CompiledQuery`.
+        Columns are stored under the executor's encoding configuration
+        (``ExecutionOptions.encoding``): low-cardinality strings become
+        dictionary codes, sorted numerics run-length runs (see
+        :mod:`repro.storage.encodings`).  Conversions are cached per
+        ``(table, columns, table version, encoding mode)`` so repeated
+        executions — benchmark iterations, serving loops — only pay the
+        encoding cost once, while a ``register()`` of new data under the same
+        name (or a different encoding configuration) can never serve stale
+        converted columns to a long-lived :class:`CompiledQuery`.
         """
+        from repro.storage.encodings import encode_table
+
+        encoding_mode = executor.options.encoding
         inputs: dict[str, TensorTable] = {}
         for scan in executor.plan.scans:
             table_key = scan.table.lower()
             if table_key not in self._dataframes:
                 raise CatalogError(f"no registered table named {scan.table!r}")
             cache_key = (table_key, tuple(f.name for f in scan.fields),
-                         self._table_versions.get(table_key, 0))
+                         self._table_versions.get(table_key, 0), encoding_mode)
             if cache_key not in self._conversion_cache:
                 frame = self._dataframes[table_key]
-                columns = {}
-                for field in scan.fields:
-                    base = field.name.split(".", 1)[1] if "." in field.name else field.name
-                    columns[field.name] = TensorColumn.from_numpy(frame[base])
-                self._conversion_cache[cache_key] = TensorTable(columns)
+                stats = self.catalog.statistics(table_key)
+                ndv = ({name: column.ndv for name, column in stats.columns.items()}
+                       if stats is not None else None)
+                self._conversion_cache[cache_key] = TensorTable(
+                    encode_table(frame, scan.fields, mode=encoding_mode,
+                                 column_ndv=ndv))
             inputs[scan.alias] = self._conversion_cache[cache_key]
         return inputs

@@ -3,14 +3,28 @@
 dbgen writes pipe-delimited files without a header row; these helpers produce
 and read the same layout so the generated data can be exchanged with other
 TPC-H tooling (or cached on disk between benchmark runs).
+
+:func:`cached_tables` is the benchmark/CI entry point: generated tables are
+saved once under a directory keyed by ``(scale factor, seed)`` and every
+later run loads the ``.tbl`` files instead of regenerating the dataset.  Set
+the ``REPRO_TPCH_CACHE`` environment variable to move the cache root (default
+``.tpch_cache/`` in the working directory); an empty value disables caching.
 """
 
 from __future__ import annotations
 
+import os
+import shutil
 from pathlib import Path
 
 from repro.dataframe import DataFrame, read_csv, write_csv
 from repro.datasets.tpch import schema
+
+#: Environment variable overriding the on-disk cache root.
+CACHE_ENV = "REPRO_TPCH_CACHE"
+
+#: Default cache root, relative to the working directory.
+DEFAULT_CACHE_DIR = ".tpch_cache"
 
 
 def save_tables(tables: dict[str, DataFrame], directory: str | Path) -> dict[str, Path]:
@@ -34,4 +48,49 @@ def load_tables(directory: str | Path) -> dict[str, DataFrame]:
         if not path.exists():
             continue
         tables[name] = read_csv(path, delimiter="|", header=False, columns=columns)
+    return tables
+
+
+def cache_directory(scale_factor: float, seed: int,
+                    root: str | Path | None = None) -> Path | None:
+    """Cache directory for one ``(scale factor, seed)`` dataset, or ``None``
+    when caching is disabled (``REPRO_TPCH_CACHE`` set to an empty string)."""
+    if root is None:
+        env = os.environ.get(CACHE_ENV)
+        if env is not None and not env:
+            return None
+        root = env or DEFAULT_CACHE_DIR
+    return Path(root) / f"sf{scale_factor:g}-seed{seed}"
+
+
+def cached_tables(scale_factor: float = 0.01, seed: int = 19920101,
+                  root: str | Path | None = None) -> dict[str, DataFrame]:
+    """Generated TPC-H tables, round-tripped through an on-disk cache.
+
+    The first call for a ``(scale factor, seed)`` pair generates the dataset
+    and saves it as ``.tbl`` files; later calls (across processes — benchmark
+    runs, CI jobs) load from disk instead of regenerating.  The loaded frames
+    are exactly the saved ones (floats round-trip through ``repr``), and a
+    partially written cache (missing tables) falls back to regeneration.
+    """
+    from repro.datasets.tpch.generator import generate_tables
+
+    directory = cache_directory(scale_factor, seed, root)
+    if directory is None:
+        return generate_tables(scale_factor=scale_factor, seed=seed)
+    if directory.is_dir():
+        tables = load_tables(directory)
+        if set(tables) == set(schema.TABLE_COLUMNS):
+            return tables
+        shutil.rmtree(directory, ignore_errors=True)  # incomplete: rebuild
+    tables = generate_tables(scale_factor=scale_factor, seed=seed)
+    # Crash-safe publish: write into a temp sibling and rename into place, so
+    # a killed run can never leave a complete-looking but truncated cache for
+    # later runs (and concurrent writers race on the rename, not the files).
+    staging = directory.parent / f"{directory.name}.tmp-{os.getpid()}"
+    save_tables(tables, staging)
+    try:
+        staging.rename(directory)
+    except OSError:
+        shutil.rmtree(staging, ignore_errors=True)  # another writer won
     return tables

@@ -1,4 +1,13 @@
-"""Catalog of registered tables (name → schema + ingestion DataFrame)."""
+"""Catalog of registered tables (name → schema, statistics + ingestion DataFrame).
+
+Besides the schema, registration collects the table's **storage statistics**
+(row count, per-column NDV/null counts, and morsel-aligned zone maps — see
+:mod:`repro.storage.statistics`).  The statistics are recomputed whenever a
+table is re-registered, so they always describe the current table version:
+the planner reads them for selectivity estimates and scan pruning, and the
+session's encoding policy reads the NDV counts when choosing dictionary
+encodings.
+"""
 
 from __future__ import annotations
 
@@ -36,12 +45,20 @@ class TableSchema:
 class Catalog:
     """Holds the tables a session can query."""
 
-    def __init__(self) -> None:
+    def __init__(self, collect_statistics: bool = True) -> None:
         self._tables: dict[str, DataFrame] = {}
         self._schemas: dict[str, TableSchema] = {}
+        self._statistics: dict[str, object] = {}
+        #: Whether ``register`` collects storage statistics (zone maps, NDV).
+        self.collect_statistics = collect_statistics
 
     def register(self, name: str, frame: DataFrame, replace: bool = True) -> None:
-        """Register ``frame`` under ``name`` (lower-cased, SQL style)."""
+        """Register ``frame`` under ``name`` (lower-cased, SQL style).
+
+        Also (re)computes the table's storage statistics, so zone maps and
+        NDV estimates always describe the currently registered data — a
+        re-registration can never leave stale statistics behind.
+        """
         key = name.lower()
         if not replace and key in self._tables:
             raise CatalogError(f"table {name!r} is already registered")
@@ -50,11 +67,21 @@ class Catalog:
         }
         self._tables[key] = frame
         self._schemas[key] = TableSchema(key, columns)
+        self._statistics.pop(key, None)
+        if self.collect_statistics:
+            from repro.storage.statistics import compute_table_statistics
+
+            self._statistics[key] = compute_table_statistics(frame)
 
     def unregister(self, name: str) -> None:
         key = name.lower()
         self._tables.pop(key, None)
         self._schemas.pop(key, None)
+        self._statistics.pop(key, None)
+
+    def statistics(self, name: str):
+        """Storage statistics of a registered table (``None`` if absent)."""
+        return self._statistics.get(name.lower())
 
     def has_table(self, name: str) -> bool:
         return name.lower() in self._tables

@@ -4,7 +4,12 @@ import numpy as np
 
 from repro.bench import figure_table, series_dict, time_rowengine, time_tqp, tpch_session
 from repro.datasets import tpch
-from repro.datasets.tpch.io import load_tables, save_tables
+from repro.datasets.tpch.io import (
+    cache_directory,
+    cached_tables,
+    load_tables,
+    save_tables,
+)
 
 
 def test_tpch_session_is_cached():
@@ -44,3 +49,40 @@ def test_tpch_tbl_round_trip(tmp_path):
     np.testing.assert_allclose(loaded["supplier"]["s_acctbal"],
                                tables["supplier"]["s_acctbal"])
     assert loaded["nation"]["n_name"].tolist() == tables["nation"]["n_name"].tolist()
+
+
+def test_cached_tables_round_trip_and_reuse(tmp_path):
+    """First call generates and saves, second call loads — with frames
+    identical to fresh generation (floats round-trip through repr)."""
+    first = cached_tables(scale_factor=0.001, seed=3, root=tmp_path)
+    directory = cache_directory(0.001, 3, root=tmp_path)
+    assert directory.is_dir()
+    assert (directory / "lineitem.tbl").exists()
+    stamp = (directory / "lineitem.tbl").stat().st_mtime_ns
+
+    second = cached_tables(scale_factor=0.001, seed=3, root=tmp_path)
+    assert (directory / "lineitem.tbl").stat().st_mtime_ns == stamp  # no rewrite
+    generated = tpch.generate_tables(scale_factor=0.001, seed=3)
+    for name, frame in generated.items():
+        assert first[name].equals(frame, float_tol=0.0), name
+        assert second[name].equals(frame, float_tol=0.0), name
+
+    # A different (sf, seed) pair gets its own directory.
+    other = cache_directory(0.002, 4, root=tmp_path)
+    assert other != directory
+
+
+def test_cached_tables_falls_back_on_partial_cache(tmp_path):
+    cached_tables(scale_factor=0.001, seed=5, root=tmp_path)
+    directory = cache_directory(0.001, 5, root=tmp_path)
+    (directory / "orders.tbl").unlink()  # simulate a torn write
+    tables = cached_tables(scale_factor=0.001, seed=5, root=tmp_path)
+    assert set(tables) == set(tpch.TABLE_NAMES)
+    assert (directory / "orders.tbl").exists()  # regenerated and re-saved
+
+
+def test_cache_disabled_by_empty_env(monkeypatch):
+    monkeypatch.setenv("REPRO_TPCH_CACHE", "")
+    assert cache_directory(0.001, 1) is None
+    tables = cached_tables(scale_factor=0.001, seed=6)
+    assert set(tables) == set(tpch.TABLE_NAMES)

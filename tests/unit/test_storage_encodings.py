@@ -1,0 +1,208 @@
+"""Unit tests for the compressed storage encodings (dictionary / run-length).
+
+Covers the encoding round trips themselves, the auto-encoding policy, the
+encoded execution paths (equality / IN / LIKE / GROUP BY / ORDER BY /
+DISTINCT on dictionary codes), layout keying of the plan and conversion
+caches, and the version bump on re-registration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ExecutionOptions, TQPSession
+from repro.core.columnar import LogicalType, TensorColumn, concat_columns
+from repro.dataframe import DataFrame
+from repro.storage import (
+    DictionaryEncoding,
+    RunLengthEncoding,
+    dictionary_encode,
+    encode_column,
+    run_length_encode,
+)
+from repro.tensor import ops
+
+
+def make_session(num_rows: int = 64, encoding: str = "auto") -> TQPSession:
+    rng = np.random.default_rng(7)
+    frame = DataFrame({
+        "k": np.repeat(np.arange(num_rows // 4, dtype=np.int64), 4),
+        "v": rng.random(num_rows),
+        "d": (np.datetime64("2024-01-01")
+              + np.sort(rng.integers(0, 10, num_rows))).astype("datetime64[D]"),
+        "tag": np.array(["alpha", "beta", "gamma"], dtype=object)[
+            rng.integers(0, 3, num_rows)],
+        "note": np.array([f"unique note {i}" for i in range(num_rows)],
+                         dtype=object),
+    })
+    session = TQPSession(default_options=ExecutionOptions(encoding=encoding))
+    session.register("t", frame)
+    return session
+
+
+# -- round trips --------------------------------------------------------------
+
+
+def test_dictionary_encode_round_trip():
+    values = ["cherry", "apple", "banana", "apple", None, "cherry"]
+    column = dictionary_encode(values)
+    assert isinstance(column.encoding, DictionaryEncoding)
+    assert column.encoding.cardinality == 4  # "", apple, banana, cherry
+    assert column.tensor.ndim == 1 and column.tensor.dtype.name == "int32"
+    decoded = column.to_numpy()
+    assert list(decoded) == ["cherry", "apple", "banana", "apple", "", "cherry"]
+    # The dictionary is sorted, so codes are order-preserving.
+    codes = column.tensor.numpy()
+    assert codes[1] < codes[2] < codes[0]  # apple < banana < cherry
+
+
+def test_run_length_encode_round_trip():
+    array = np.repeat(np.array([5, 5, 9, 1], dtype=np.int64), [3, 1, 4, 2])
+    column = run_length_encode(array, LogicalType.INT)
+    assert isinstance(column.encoding, RunLengthEncoding)
+    assert column.encoding.num_runs == 3  # 5-run merges
+    assert column.num_rows == len(array)
+    np.testing.assert_array_equal(column.to_numpy(), array)
+    # Positional access decodes transparently.
+    np.testing.assert_array_equal(column.slice(2, 5).to_numpy(), array[2:7])
+    taken = column.gather(ops.tensor(np.array([0, 9, 4]), dtype="int64"))
+    np.testing.assert_array_equal(taken.to_numpy(), array[[0, 9, 4]])
+
+
+def test_constant_column_is_one_run():
+    column = run_length_encode(np.full(100, 7, dtype=np.int64), LogicalType.INT)
+    assert column.encoding.is_constant
+    assert column.encoding.num_runs == 1
+    assert column.num_rows == 100
+
+
+def test_encode_column_policy():
+    n = 1000
+    rng = np.random.default_rng(1)
+    low_card = np.array(["a", "b"], dtype=object)[rng.integers(0, 2, n)]
+    unique = np.array([f"s{i}" for i in range(n)], dtype=object)
+    sorted_ints = np.sort(rng.integers(0, 50, n)).astype(np.int64)
+    random_ints = rng.integers(0, 10**9, n)
+
+    assert isinstance(encode_column(low_card).encoding, DictionaryEncoding)
+    assert encode_column(unique).encoding is None          # NDV too high
+    assert isinstance(encode_column(sorted_ints).encoding, RunLengthEncoding)
+    assert encode_column(random_ints).encoding is None     # too many runs
+    assert encode_column(low_card, mode="off").encoding is None
+    assert encode_column(sorted_ints, mode="dictionary").encoding is None
+    assert encode_column(low_card, mode="rle").encoding is None
+    # Tiny columns are never encoded.
+    assert encode_column(np.array(["a", "a"], dtype=object)).encoding is None
+
+
+def test_concat_columns_shared_dictionary_stays_encoded():
+    column = dictionary_encode(["x", "y", "x", "z", "y", "z"])
+    top, bottom = column.slice(0, 3), column.slice(3, 3)
+    merged = concat_columns([top, bottom])
+    assert merged.encoding is column.encoding
+    assert list(merged.to_numpy()) == ["x", "y", "x", "z", "y", "z"]
+    # Mixed encoded/plain chunks decode to the padded representation.
+    plain = TensorColumn.from_numpy(np.array(["long-string", "y"], dtype=object))
+    mixed = concat_columns([top, plain])
+    assert mixed.encoding is None
+    assert list(mixed.to_numpy()) == ["x", "y", "x", "long-string", "y"]
+
+
+# -- encoded execution matches plain execution --------------------------------
+
+
+ENCODED_QUERIES = [
+    "select k, tag from t where tag = 'beta' order by k, tag",
+    "select tag, count(*) as c, sum(v) as s from t group by tag order by tag",
+    "select k from t where tag in ('alpha', 'gamma') order by k",
+    "select tag from t where note like '%note 1%' order by tag",
+    "select distinct tag from t order by tag",
+    "select tag, length(tag) as l from t where tag <> 'alpha' order by tag",
+    "select count(distinct tag) as n from t",
+    "select max(d) as hi from t where k between 3 and 9",
+]
+
+
+@pytest.mark.parametrize("backend", ["pytorch", "torchscript"])
+@pytest.mark.parametrize("sql", ENCODED_QUERIES)
+def test_encoded_execution_matches_plain(frames_match, sql, backend):
+    encoded = make_session(encoding="auto")
+    plain = make_session(encoding="off")
+    frames_match(encoded.sql(sql, backend=backend),
+                 plain.sql(sql, backend=backend), f"{sql} [{backend}]")
+
+
+def test_session_conversion_actually_encodes():
+    session = make_session()
+    compiled = session.compile("select tag, d, note from t")
+    inputs = session.prepare_inputs(compiled.executor)
+    table = inputs["t"]
+    assert isinstance(table.column("t.tag").encoding, DictionaryEncoding)
+    assert isinstance(table.column("t.d").encoding, RunLengthEncoding)
+    assert table.column("t.note").encoding is None  # unique strings stay plain
+
+
+def test_parameterized_equality_on_dictionary_codes(frames_match):
+    encoded = make_session(encoding="auto")
+    plain = make_session(encoding="off")
+    options = ExecutionOptions(backend="torchscript", encoding="auto")
+    query = encoded.prepare("select k from t where tag = :tag order by k",
+                            options=options)
+    for tag in ("alpha", "beta", "nosuch"):
+        expected = plain.sql(f"select k from t where tag = '{tag}' order by k")
+        frames_match(query.bind(tag=tag).run(), expected, f"tag={tag}")
+    assert query.compiled.executor.compile_count == 1
+
+
+# -- cache keying and invalidation --------------------------------------------
+
+
+def test_encoding_mode_is_part_of_the_plan_cache_key():
+    session = make_session()
+    sql = "select sum(v) as s from t"
+    auto = session.compile(sql, options=ExecutionOptions(encoding="auto"))
+    off = session.compile(sql, options=ExecutionOptions(encoding="off"))
+    assert auto is not off
+    again = session.compile(sql, options=ExecutionOptions(encoding="auto"))
+    assert again is auto
+
+
+def test_conversion_cache_keyed_by_encoding_and_version():
+    session = make_session()
+    compiled_auto = session.compile("select tag from t",
+                                    options=ExecutionOptions(encoding="auto"))
+    compiled_off = session.compile("select tag from t",
+                                   options=ExecutionOptions(encoding="off"))
+    encoded = session.prepare_inputs(compiled_auto.executor)["t"]
+    plain = session.prepare_inputs(compiled_off.executor)["t"]
+    assert encoded.column("t.tag").encoding is not None
+    assert plain.column("t.tag").encoding is None
+
+
+def test_reregister_with_different_dtype_bumps_version():
+    """Re-registering a table with a different layout (dtype or encoding
+    eligibility) must invalidate cached plans and converted columns."""
+    session = make_session()
+    sql = "select k, tag from t where tag = 'alpha' order by k"
+    first = session.compile(sql, backend="torchscript")
+    result_first = first.run()
+    assert result_first.num_rows > 0
+
+    # New data under the same name: k becomes float, tag becomes high-NDV
+    # (no longer dictionary-encodable), and the matching rows change.
+    n = 64
+    frame = DataFrame({
+        "k": np.linspace(0.0, 1.0, n),
+        "v": np.zeros(n),
+        "d": np.repeat(np.datetime64("2024-06-01"), n).astype("datetime64[D]"),
+        "tag": np.array([f"tag-{i}" for i in range(n)], dtype=object),
+        "note": np.array(["x"] * n, dtype=object),
+    })
+    session.register("t", frame)
+    second = session.compile(sql, backend="torchscript")
+    assert second is not first, "stale plan served after re-registration"
+    assert second.run().num_rows == 0
+    converted = session.prepare_inputs(second.executor)["t"]
+    assert converted.column("t.tag").encoding is None
+    assert converted.column("t.k").ltype == LogicalType.FLOAT
