@@ -16,6 +16,7 @@ import pytest
 from repro.datasets import tpch
 from repro.frontend import sql_to_logical
 from repro.frontend.logical import LogicalScan, walk_plan
+from repro import ExecutionOptions
 
 BACKEND_PAIRS = [
     ("torchscript", "graph passes ON"),
@@ -30,7 +31,7 @@ def test_ablation_backend_passes(benchmark, tpch_env, scale_factor, query_id,
                                  backend, label):
     session, _ = tpch_env
     sql = tpch.query(query_id, scale_factor)
-    compiled = session.compile(sql, backend=backend, device="cpu")
+    compiled = session.compile(sql, options=ExecutionOptions(backend=backend, device="cpu"))
     inputs = session.prepare_inputs(compiled.executor)
     compiled.executor.execute(inputs)
 
@@ -46,8 +47,8 @@ def test_ablation_graph_passes_shrink_program(tpch_env, scale_factor):
     """The optimization passes must actually remove nodes on a realistic query."""
     session, _ = tpch_env
     sql = tpch.query(14, scale_factor)
-    optimized = session.compile(sql, backend="torchscript")
-    unoptimized = session.compile(sql, backend="torchscript-noopt")
+    optimized = session.compile(sql, options=ExecutionOptions(backend="torchscript"))
+    unoptimized = session.compile(sql, options=ExecutionOptions(backend="torchscript-noopt"))
     inputs = session.prepare_inputs(optimized.executor)
     optimized.executor.compile_program(inputs)
     unoptimized.executor.compile_program(session.prepare_inputs(unoptimized.executor))

@@ -16,6 +16,7 @@ import pytest
 
 from repro.bench import figure_table, time_rowengine, time_tqp
 from repro.datasets import tpch
+from repro import ExecutionOptions
 
 QUERIES = (6, 14)
 
@@ -34,7 +35,7 @@ _RESULTS: dict[int, dict[str, object]] = {}
 def test_figure1_tqp(benchmark, tpch_env, scale_factor, query_id, label, backend, device):
     session, _ = tpch_env
     sql = tpch.query(query_id, scale_factor)
-    compiled = session.compile(sql, backend=backend, device=device)
+    compiled = session.compile(sql, options=ExecutionOptions(backend=backend, device=device))
     inputs = session.prepare_inputs(compiled.executor)
     compiled.executor.execute(inputs)  # warm-up / trace
 

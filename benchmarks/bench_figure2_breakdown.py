@@ -9,11 +9,12 @@ from __future__ import annotations
 
 from repro.datasets import tpch
 from repro.viz import format_breakdown, kernel_breakdown, operator_breakdown
+from repro import ExecutionOptions
 
 
 def test_figure2_q6_operator_breakdown(benchmark, tpch_env, scale_factor, capsys):
     session, _ = tpch_env
-    compiled = session.compile(tpch.query(6, scale_factor), backend="pytorch")
+    compiled = session.compile(tpch.query(6, scale_factor), options=ExecutionOptions(backend="pytorch"))
     inputs = session.prepare_inputs(compiled.executor)
     compiled.executor.execute(inputs)  # warm-up
 
@@ -42,7 +43,7 @@ def test_figure2_q6_operator_breakdown(benchmark, tpch_env, scale_factor, capsys
 
 def test_figure2_q14_operator_breakdown(benchmark, tpch_env, scale_factor, capsys):
     session, _ = tpch_env
-    compiled = session.compile(tpch.query(14, scale_factor), backend="pytorch")
+    compiled = session.compile(tpch.query(14, scale_factor), options=ExecutionOptions(backend="pytorch"))
     inputs = session.prepare_inputs(compiled.executor)
     compiled.executor.execute(inputs)
 

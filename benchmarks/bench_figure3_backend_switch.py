@@ -11,6 +11,7 @@ from __future__ import annotations
 import pytest
 
 from repro.datasets import tpch
+from repro import ExecutionOptions
 
 COMBINATIONS = [
     ("pytorch", "cpu"),
@@ -26,9 +27,9 @@ def test_figure3_backend_switch_results_identical(benchmark, tpch_env, scale_fac
                                                   backend, device):
     session, _ = tpch_env
     sql = tpch.query(6, scale_factor)
-    reference = session.compile(sql, backend="pytorch", device="cpu").run()
+    reference = session.compile(sql, options=ExecutionOptions(backend="pytorch", device="cpu")).run()
 
-    compiled = session.compile(sql, backend=backend, device=device)
+    compiled = session.compile(sql, options=ExecutionOptions(backend=backend, device=device))
     inputs = session.prepare_inputs(compiled.executor)
 
     def compile_and_run():

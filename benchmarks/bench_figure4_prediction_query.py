@@ -18,6 +18,7 @@ from repro.frontend import sql_to_physical
 from repro.ml import compile_row_fn
 from repro.ml.models import BagOfWordsVectorizer, LogisticRegression, Pipeline
 from repro.viz import graph_summary
+from repro import ExecutionOptions
 
 FIGURE4_SQL = """
 select brand,
@@ -51,7 +52,7 @@ def sentiment_env():
 ])
 def test_figure4_prediction_query_tqp(benchmark, sentiment_env, backend, device):
     session, _, _ = sentiment_env
-    compiled = session.compile(FIGURE4_SQL, backend=backend, device=device)
+    compiled = session.compile(FIGURE4_SQL, options=ExecutionOptions(backend=backend, device=device))
     inputs = session.prepare_inputs(compiled.executor)
     compiled.executor.execute(inputs)
 
@@ -66,7 +67,7 @@ def test_figure4_prediction_query_tqp(benchmark, sentiment_env, backend, device)
 
 def test_figure4_executor_graph_artifact(sentiment_env):
     session, _, _ = sentiment_env
-    compiled = session.compile(FIGURE4_SQL, backend="torchscript", device="cpu")
+    compiled = session.compile(FIGURE4_SQL, options=ExecutionOptions(backend="torchscript", device="cpu"))
     graph = compiled.executor_graph()
     summary = graph_summary(graph)
     # The graph must contain both relational tensor ops (scatter/aggregation)

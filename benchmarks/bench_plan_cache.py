@@ -21,6 +21,7 @@ import time
 import pytest
 
 from repro.datasets import tpch
+from repro import ExecutionOptions
 
 QUERY_ID = 6
 HIT_REPEATS = 25
@@ -28,7 +29,7 @@ HIT_REPEATS = 25
 
 def _compile_seconds(session, sql, use_cache: bool) -> float:
     start = time.perf_counter()
-    session.compile(sql, backend="torchscript", device="cpu", use_cache=use_cache)
+    session.compile(sql, options=ExecutionOptions(backend="torchscript", device="cpu", use_cache=use_cache))
     return time.perf_counter() - start
 
 
@@ -39,7 +40,7 @@ def test_plan_cache_hits_are_5x_cheaper_than_cold_compiles(tpch_env, scale_facto
 
     cold_s = min(_compile_seconds(session, sql, use_cache=False) for _ in range(5))
 
-    session.compile(sql, backend="torchscript", device="cpu")  # prime: one miss
+    session.compile(sql, options=ExecutionOptions(backend="torchscript", device="cpu"))  # prime: one miss
     hits_before = session.plan_cache.hits
     hit_s = min(_compile_seconds(session, sql, use_cache=True)
                 for _ in range(HIT_REPEATS))
@@ -57,12 +58,12 @@ def test_plan_cache_hits_skip_parse_and_trace(tpch_env, scale_factor):
     sql = tpch.query(QUERY_ID, scale_factor)
     session.plan_cache.clear()
 
-    compiled = session.compile(sql, backend="torchscript", device="cpu")
+    compiled = session.compile(sql, options=ExecutionOptions(backend="torchscript", device="cpu"))
     compiled.run()
     assert compiled.executor.compile_count == 1
 
     for _ in range(HIT_REPEATS):
-        again = session.compile(sql, backend="torchscript", device="cpu")
+        again = session.compile(sql, options=ExecutionOptions(backend="torchscript", device="cpu"))
         again.run()
         assert again is compiled                      # parse/plan skipped
     assert compiled.executor.compile_count == 1       # trace never redone
@@ -95,11 +96,10 @@ def test_plan_cache_compile_latency(benchmark, tpch_env, scale_factor, use_cache
     sql = tpch.query(QUERY_ID, scale_factor)
     session.plan_cache.clear()
     if use_cache:
-        session.compile(sql, backend="torchscript", device="cpu")  # prime
+        session.compile(sql, options=ExecutionOptions(backend="torchscript", device="cpu"))  # prime
 
     benchmark.pedantic(
-        lambda: session.compile(sql, backend="torchscript", device="cpu",
-                                use_cache=use_cache),
+        lambda: session.compile(sql, options=ExecutionOptions(backend="torchscript", device="cpu", use_cache=use_cache)),
         rounds=10, iterations=1, warmup_rounds=1)
     benchmark.extra_info["variant"] = label
     benchmark.extra_info.update(session.plan_cache.stats())

@@ -14,6 +14,7 @@ import pytest
 
 from repro.core.session import TQPSession
 from repro.datasets import iris
+from repro import ExecutionOptions
 from repro.ml.models import (
     DecisionTreeClassifier,
     GradientBoostingClassifier,
@@ -60,7 +61,7 @@ def test_scenario3_model_sweep(benchmark, iris_table, model_name):
     session = TQPSession()
     session.register("iris", iris_table)
     session.register_model("is_virginica", model)
-    compiled = session.compile(PREDICTION_SQL, backend="torchscript", device="cpu")
+    compiled = session.compile(PREDICTION_SQL, options=ExecutionOptions(backend="torchscript", device="cpu"))
     inputs = session.prepare_inputs(compiled.executor)
     compiled.executor.execute(inputs)
 

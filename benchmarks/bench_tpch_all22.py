@@ -10,6 +10,7 @@ from __future__ import annotations
 import pytest
 
 from repro.datasets import tpch
+from repro import ExecutionOptions
 
 #: Queries cross-checked against the row engine inside the benchmark run
 #: (the full 22-query cross-check lives in tests/integration/test_tpch_queries.py).
@@ -20,7 +21,7 @@ _SPOT_CHECKED = {1, 6, 14}
 def test_tpch_query(benchmark, tpch_env, scale_factor, query_id):
     session, tables = tpch_env
     sql = tpch.query(query_id, scale_factor)
-    compiled = session.compile(sql, backend="torchscript", device="cpu")
+    compiled = session.compile(sql, options=ExecutionOptions(backend="torchscript", device="cpu"))
     inputs = session.prepare_inputs(compiled.executor)
     compiled.executor.execute(inputs)  # trace once
 

@@ -58,6 +58,12 @@ class BenchResult:
     #: plus whether this compile was served from the cache.  ``None`` for
     #: systems without a plan cache (the row-engine baseline).
     plan_cache: Optional[dict] = None
+    #: Host wall-clock (``perf_counter``) per run.  ``times_s`` holds the
+    #: *reported* time, which on the simulated devices comes from a cost
+    #: model; this column is always real elapsed time, so executor-level
+    #: wins (e.g. compiled vs interpreted replay) stay visible even when
+    #: the simulated numbers are identical by construction.
+    wall_times_s: list[float] = dataclasses.field(default_factory=list)
 
     @property
     def median_s(self) -> float:
@@ -67,11 +73,20 @@ class BenchResult:
     def median_ms(self) -> float:
         return self.median_s * 1e3
 
+    @property
+    def median_wall_s(self) -> float:
+        return statistics.median(self.wall_times_s or self.times_s)
+
+    @property
+    def median_wall_ms(self) -> float:
+        return self.median_wall_s * 1e3
+
 
 def time_tqp(session: TQPSession, sql: str, backend: str = "torchscript",
              device: str = "cpu", runs: int = 5, warmup: int = 2,
              profile: bool = False, use_cache: bool = True,
-             parallelism: Optional[int] = None) -> BenchResult:
+             parallelism: Optional[int] = None,
+             executor: str = "auto") -> BenchResult:
     """Compile ``sql`` once and measure ``runs`` executions after ``warmup``.
 
     Passing ``parallelism`` (any value, including 1) forces profiling on so
@@ -86,15 +101,16 @@ def time_tqp(session: TQPSession, sql: str, backend: str = "torchscript",
     compile_start = time.perf_counter()
     query = session.compile(sql, options=ExecutionOptions(
         backend=backend, device=device, use_cache=use_cache,
-        parallelism=parallelism))
+        parallelism=parallelism, executor=executor))
     compile_s = time.perf_counter() - compile_start
     inputs = session.prepare_inputs(query.executor)
     for _ in range(warmup):
         query.executor.execute(inputs, profile=profile)
-    times, last = [], None
+    times, walls, last = [], [], None
     for _ in range(runs):
         outcome = query.executor.execute(inputs, profile=profile)
         times.append(outcome.reported_s)
+        walls.append(outcome.measured_s)
         last = outcome
     cache_stats = dict(session.plan_cache.stats())
     cache_stats["compile_s"] = compile_s
@@ -104,7 +120,7 @@ def time_tqp(session: TQPSession, sql: str, backend: str = "torchscript",
         backend=backend, device=device,
         simulated=query.executor.device.is_simulated,
         times_s=times, result=last.to_dataframe(),
-        plan_cache=cache_stats,
+        plan_cache=cache_stats, wall_times_s=walls,
     )
 
 
@@ -123,4 +139,5 @@ def time_rowengine(session: TQPSession, tables: dict[str, DataFrame], sql: str,
         frame = engine.execute_to_dataframe(plan)
         times.append(time.perf_counter() - start)
     return BenchResult(system=label, backend="row-interpreter", device="cpu",
-                       simulated=False, times_s=times, result=frame)
+                       simulated=False, times_s=times, result=frame,
+                       wall_times_s=list(times))

@@ -11,7 +11,8 @@ def figure_table(title: str, results: Sequence[BenchResult],
                  baseline: BenchResult | None = None) -> str:
     """Render a figure's series as a text table with speedups vs. a baseline."""
     lines = [title, "=" * len(title),
-             f"{'system':<34} {'backend':<14} {'time ms':>12} {'speedup':>9}  note"]
+             f"{'system':<34} {'backend':<14} {'time ms':>12} {'wall ms':>12} "
+             f"{'speedup':>9}  note"]
     reference = baseline.median_s if baseline is not None else None
     rows = ([baseline] if baseline is not None else []) + [
         r for r in results if r is not baseline
@@ -22,7 +23,7 @@ def figure_table(title: str, results: Sequence[BenchResult],
             speedup = f"{reference / row.median_s:>8.1f}x"
         note = "simulated time" if row.simulated else "measured"
         lines.append(f"{row.system:<34} {row.backend:<14} {row.median_ms:>12.2f} "
-                     f"{speedup:>9}  {note}")
+                     f"{row.median_wall_ms:>12.2f} {speedup:>9}  {note}")
     return "\n".join(lines)
 
 

@@ -26,7 +26,12 @@ from repro.core.columnar import LogicalType, TensorColumn, TensorTable
 from repro.core.expressions import EvaluationContext, ExprValue
 from repro.core.operators import ExecutionContext
 from repro.core.options import ExecutionOptions
-from repro.core.parameters import ParameterSpec, bind_parameters, to_expr_value
+from repro.core.parameters import (
+    ParameterSpec,
+    make_binder,
+    param_array_converter,
+    param_converter,
+)
 from repro.core.planner import OperatorPlan
 from repro.dataframe import DataFrame
 from repro.errors import CatalogError, ExecutionError
@@ -48,6 +53,10 @@ class ExecutionResult:
     #: when no scan pruned.  On the graph backends the counters describe the
     #: tracing run (a replay does not re-execute the operators).
     pruning: dict = dataclasses.field(default_factory=dict)
+    #: How the query actually ran: ``eager`` (pytorch backend), ``compiled``
+    #: (generated code) or ``interpreted`` (graph interpreter, including the
+    #: ``auto``-mode fallback).
+    executor_mode: str = "eager"
 
     def to_dataframe(self) -> DataFrame:
         return self.table.to_dataframe()
@@ -90,6 +99,9 @@ class Executor:
         self.parallelism = max(1, int(parallelism))
         #: Bind parameters of the plan, in lexical order.
         self.params: list[ParameterSpec] = list(getattr(plan, "params", []) or [])
+        self._param_converters = [(spec.name, param_converter(spec))
+                                  for spec in self.params]
+        self._binder = make_binder(self.params)
         self.cost_model = get_device_model(self.device)
         #: Number of trace-compilations performed; the plan-cache benchmarks
         #: read this to prove cache hits skip the trace entirely.
@@ -156,7 +168,7 @@ class Executor:
         Raises :class:`~repro.errors.BindingError` for missing, unknown or
         ill-typed values (see ``repro.core.parameters.bind_parameters``).
         """
-        return bind_parameters(self.params, params or {})
+        return self._binder(params or {})
 
     def _param_values(self, bound: dict) -> dict[str, ExprValue]:
         """Scalar tensors for a normalized binding, created on the CPU.
@@ -165,9 +177,8 @@ class Executor:
         table inputs, so the transfer is part of the traced program and the
         simulated cost models account for it.
         """
-        return {spec.name: to_expr_value(spec, bound[spec.name],
-                                         parse_device("cpu"))
-                for spec in self.params}
+        return {name: convert(bound[name])
+                for name, convert in self._param_converters}
 
     def execute(self, inputs: dict[str, TensorTable], profile: bool = False,
                 params: Optional[dict] = None) -> ExecutionResult:
@@ -209,9 +220,14 @@ class Executor:
             interpreter_overhead_s=self.backend.per_node_overhead_s)
         pruning = {scan.alias: scan.last_pruning for scan in self.plan.scans
                    if getattr(scan, "last_pruning", None)}
+        if self.backend.strategy == "eager":
+            mode = "eager"
+        else:
+            mode = "compiled" if self._program.uses_codegen else "interpreted"
         return ExecutionResult(table=table, measured_s=measured, reported_s=reported,
                                backend=self.backend.name, device=str(self.device),
-                               profile=profiler, pruning=pruning)
+                               profile=profiler, pruning=pruning,
+                               executor_mode=mode)
 
     # -- eager (PyTorch-like) path ----------------------------------------------
 
@@ -337,7 +353,8 @@ class Executor:
             graph = passes.optimize(graph)
         if self.backend.serialize:
             graph = onnxlike.loads(onnxlike.dumps(graph))
-        program = ScriptedProgram(graph, self.backend.per_node_overhead_s)
+        program = ScriptedProgram(graph, self.backend.per_node_overhead_s,
+                                  executor=self.options.executor)
         self._program = program
         self._program_layout = list(output_columns)
         self._input_layout = layout
@@ -357,6 +374,10 @@ class Executor:
         param_exprs = self._param_values(bound)
         tensors = tensors + [param_exprs[spec.name].tensor for spec in self.params]
         outputs = self._program.run(tensors, device=self.device)
+        return self._outputs_to_table(outputs)
+
+    def _outputs_to_table(self, outputs: list[Tensor]) -> TensorTable:
+        """Reassemble the program's flat output tensors into a result table."""
         columns: dict[str, TensorColumn] = {}
         cursor = 0
         for name, ltype, has_valid in self._program_layout:
@@ -368,6 +389,82 @@ class Executor:
                 cursor += 1
             columns[name] = TensorColumn(tensor, ltype, valid)
         return TensorTable(columns)
+
+    def execute_many(self, inputs: dict[str, TensorTable],
+                     param_batches: "list[dict]",
+                     profile: bool = False) -> list[ExecutionResult]:
+        """Serving loop: run many parameter bindings over one input set.
+
+        All bindings are validated up front, then each one runs against the
+        cached program.  When the program was lowered to generated code the
+        loop takes a dedicated hot path: the table inputs are flattened and
+        moved **once**, and each binding costs one parameter conversion plus
+        a single generated-function call with zero graph-walking.  Programs
+        that replay through the interpreter have no such single entry point,
+        so they keep the general per-request path — that gap is exactly what
+        ``benchmarks/bench_compiled_executor.py`` measures.  Semantics
+        (validation, profiling, reported times) match calling :meth:`execute`
+        once per binding either way.
+        """
+        if self.backend.strategy != "graph":
+            return [self.execute(inputs, profile=profile, params=batch)
+                    for batch in param_batches]
+        bound_list = [self.bind(batch) for batch in param_batches]
+        if self._program is None:
+            self.compile_program(inputs,
+                                 params=bound_list[0] if bound_list else None)
+        if not self._program.uses_codegen:
+            return [self.execute(inputs, profile=profile, params=bound)
+                    for bound in bound_list]
+        tensors, layout = self._flatten_inputs(inputs)
+        if layout != self._input_layout:
+            raise ExecutionError(
+                "compiled program does not match the provided inputs; "
+                "re-create the executor or call compile_program() again"
+            )
+        want_profile = profile or self.device.is_simulated
+        pruning = {scan.alias: scan.last_pruning for scan in self.plan.scans
+                   if getattr(scan, "last_pruning", None)}
+        program, device = self._program, self.device
+        backend_name, device_str = self.backend.name, str(device)
+        overhead_s = self.backend.per_node_overhead_s
+        report_time, perf_counter = self.cost_model.report_time, time.perf_counter
+        # Unprofiled serving over generated code skips the per-call input
+        # handling entirely: the fixed table arrays are moved and unwrapped
+        # once, each request appends its parameter scalars and makes one
+        # generated-function call.
+        serve = None if want_profile else program.serving_fn(device)
+        if serve is not None:
+            base_arrays = [(t if t.device == device else t.to(device)).data
+                           for t in tensors]
+            array_converters = [(spec.name, param_array_converter(spec))
+                                for spec in self.params]
+        results: list[ExecutionResult] = []
+        for bound in bound_list:
+            profiler = (Profiler(name=f"{backend_name}-{device}")
+                        if want_profile else None)
+            if profiler is not None:
+                param_exprs = self._param_values(bound)
+                run_tensors = tensors + [param_exprs[spec.name].tensor
+                                         for spec in self.params]
+                with profiler:
+                    start = perf_counter()
+                    outputs = program.run(run_tensors, device=device)
+                    measured = perf_counter() - start
+            else:
+                run_arrays = base_arrays + [convert(bound[name])
+                                            for name, convert in array_converters]
+                start = perf_counter()
+                outputs = serve(run_arrays)
+                measured = perf_counter() - start
+            reported = report_time(measured, profiler,
+                                   interpreter_overhead_s=overhead_s)
+            results.append(ExecutionResult(
+                table=self._outputs_to_table(outputs), measured_s=measured,
+                reported_s=reported, backend=backend_name,
+                device=device_str, profile=profiler, pruning=pruning,
+                executor_mode="compiled"))
+        return results
 
     # -- artifacts ------------------------------------------------------------------
 

@@ -2,21 +2,22 @@
 
 The session API used to take a sprawl of ``backend=`` / ``device=`` /
 ``optimize=`` / ``use_cache=`` / ``parallelism=`` keyword arguments on every
-call.  They are now collapsed into a single frozen dataclass that is threaded
+call.  They are collapsed into a single frozen dataclass that is threaded
 through :class:`~repro.core.session.TQPSession`,
 :meth:`~repro.core.session.TQPSession.compile`, the
-:class:`~repro.core.executor.Executor`, and the plan-cache key.  The old
-keyword arguments keep working through a deprecation shim (see
-:func:`merge_legacy_kwargs`).
+:class:`~repro.core.executor.Executor`, and the plan-cache key.  (The
+deprecation shim that accepted the old keyword arguments was removed once all
+callers migrated; the old spellings now raise ``TypeError`` like any other
+bad keyword.)
 """
 
 from __future__ import annotations
 
 import dataclasses
-import warnings
 from typing import Any, Optional
 
 from repro.tensor.device import Device, parse_device
+from repro.tensor.script import EXECUTOR_MODES
 
 
 @dataclasses.dataclass(frozen=True)
@@ -46,6 +47,13 @@ class ExecutionOptions:
             keys: a traced program is tied to the storage layout it was
             traced against, so changing the encoding can never serve stale
             tensors.
+        executor: how cached graph plans are replayed — ``interpret``
+            (node-by-node graph interpreter), ``compiled`` (lower the graph
+            to generated code, error if impossible), or ``auto`` (compile
+            when supported, fall back to the interpreter otherwise; the
+            default).  Part of the plan-cache key.  Only affects graph
+            backends; the eager ``pytorch`` backend has no cached graph to
+            execute.
     """
 
     backend: Optional[str] = None
@@ -55,6 +63,13 @@ class ExecutionOptions:
     parallelism: Optional[int] = None
     auto_parameterize: bool = False
     encoding: str = "auto"
+    executor: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.executor not in EXECUTOR_MODES:
+            raise ValueError(
+                f"executor must be one of {EXECUTOR_MODES}, "
+                f"got {self.executor!r}")
 
     def resolved(self, default_backend: str, default_device: Device | str,
                  default_parallelism: int = 1) -> "ExecutionOptions":
@@ -74,32 +89,4 @@ class ExecutionOptions:
     def cache_key(self) -> tuple:
         """The options' contribution to the session plan-cache key."""
         return (self.backend, str(self.device), self.optimize, self.parallelism,
-                self.encoding)
-
-
-#: Legacy keyword arguments accepted (deprecated) by the session entry points.
-_LEGACY_KWARGS = ("backend", "device", "optimize", "use_cache", "parallelism")
-
-
-def merge_legacy_kwargs(options: Optional[ExecutionOptions],
-                        stacklevel: int = 3,
-                        **legacy: Any) -> ExecutionOptions:
-    """Back-compat shim: fold old-style keyword arguments into options.
-
-    Given values win over the corresponding field of ``options`` and emit a
-    :class:`DeprecationWarning` steering callers to ``ExecutionOptions``.
-    Unknown keys raise ``TypeError`` like a normal bad keyword would.
-    """
-    supplied = {key: value for key, value in legacy.items() if value is not None}
-    unknown = set(supplied) - set(_LEGACY_KWARGS)
-    if unknown:
-        raise TypeError(f"unknown keyword argument(s): {', '.join(sorted(unknown))}")
-    base = options or ExecutionOptions()
-    if not supplied:
-        return base
-    warnings.warn(
-        "passing backend=/device=/optimize=/use_cache=/parallelism= directly "
-        "is deprecated; pass options=ExecutionOptions(...) instead",
-        DeprecationWarning, stacklevel=stacklevel,
-    )
-    return dataclasses.replace(base, **supplied)
+                self.encoding, self.executor)

@@ -130,6 +130,26 @@ def bind_parameters(specs: Iterable[ParameterSpec],
     return {spec.name: _normalize_value(spec, values[spec.name]) for spec in specs}
 
 
+def make_binder(specs: Iterable[ParameterSpec]):
+    """A reusable ``values -> normalized dict`` binder for one spec list.
+
+    Behaves exactly like ``bind_parameters(specs, values)`` — same results,
+    same typed errors — but does the spec-set bookkeeping once instead of per
+    call.  Executors keep one binder per plan, so serving loops pay only the
+    per-value normalization.
+    """
+    specs = list(specs)
+    known = frozenset(spec.name for spec in specs)
+
+    def binder(values: Mapping[str, Any]) -> dict[str, Any]:
+        if frozenset(values) != known:
+            return bind_parameters(specs, values)  # raises the typed error
+        return {spec.name: _normalize_value(spec, values[spec.name])
+                for spec in specs}
+
+    return binder
+
+
 def positional_binding(specs: Iterable[ParameterSpec],
                        args: tuple) -> dict[str, Any]:
     """Map positional arguments onto ``?`` parameters in marker order."""
@@ -159,6 +179,60 @@ def to_expr_value(spec: ParameterSpec, value: Any, device: Device):
     dtype = "int64"
     return ExprValue(ops.tensor(value, dtype=dtype, device=device),
                      spec.ltype, True)
+
+
+#: Bind parameters are created on the CPU; traced programs move them to the
+#: target device as part of the program, so the transfer stays accounted.
+_CPU = Device("cpu")
+
+
+def param_converter(spec: ParameterSpec):
+    """A reusable ``normalized value -> ExprValue`` converter for one spec.
+
+    Produces exactly what ``to_expr_value(spec, value, cpu)`` would, but
+    resolves the device, dtype and ExprValue shape once per spec instead of
+    once per binding — the serving loop converts every parameter of every
+    request, so this is hot.
+    """
+    from repro.core.expressions import ExprValue
+    from repro.tensor.tensor import Tensor
+
+    ltype = spec.ltype
+    if ltype == LogicalType.STRING:
+        return lambda value: to_expr_value(spec, value, _CPU)
+    if ltype == LogicalType.BOOL:
+        np_dtype = np.bool_
+    elif ltype == LogicalType.FLOAT:
+        np_dtype = np.float64
+    else:
+        np_dtype = np.int64
+
+    def convert(value: Any) -> ExprValue:
+        return ExprValue(Tensor(np.asarray(value, dtype=np_dtype), _CPU),
+                         ltype, True)
+
+    return convert
+
+
+def param_array_converter(spec: ParameterSpec):
+    """``normalized value -> raw ndarray`` — the serve-path twin of
+    :func:`param_converter`.
+
+    Produces the exact array a :func:`param_converter` ExprValue would wrap;
+    the generated-code serving loop feeds raw arrays, so the Tensor/ExprValue
+    objects would be built only to be unwrapped again.
+    """
+    ltype = spec.ltype
+    if ltype == LogicalType.STRING:
+        expr = param_converter(spec)
+        return lambda value: expr(value).tensor.data
+    if ltype == LogicalType.BOOL:
+        np_dtype = np.bool_
+    elif ltype == LogicalType.FLOAT:
+        np_dtype = np.float64
+    else:
+        np_dtype = np.int64
+    return lambda value: np.asarray(value, dtype=np_dtype)
 
 
 # ---------------------------------------------------------------------------

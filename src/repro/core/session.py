@@ -30,9 +30,14 @@ A serving loop batches bindings through :meth:`PreparedQuery.execute_many`::
     results = query.execute_many([{"q": q} for q in range(1, 25)])
 
 All knobs (backend, device, optimizer, plan cache, parallelism,
-auto-parameterization) live on one :class:`ExecutionOptions` object; the old
-``backend=`` / ``device=`` / ... keyword arguments keep working through a
-deprecation shim.  Ad-hoc ``session.sql(...)`` calls can opt into
+auto-parameterization, executor) live on one :class:`ExecutionOptions`
+object.  On the graph backends, ``ExecutionOptions(executor=...)`` chooses
+how cached plans are replayed: ``"auto"`` (the default) lowers the traced
+graph to generated code (:mod:`repro.tensor.codegen`) when supported, so a
+serving loop executes one compiled function per request instead of walking
+the graph node by node; ``"interpret"`` forces the graph interpreter;
+``"compiled"`` errors instead of falling back.  Results and profiles are
+identical under both executors.  Ad-hoc ``session.sql(...)`` calls can opt into
 **auto-parameterization** (``ExecutionOptions(auto_parameterize=True)``),
 which lifts literals out of the text so that queries differing only in
 constants share one plan-cache entry.  ``session.plan_cache.stats()`` exposes
@@ -53,7 +58,7 @@ from repro.core import ir_builder, ir_optimizer
 from repro.core.columnar import TensorTable
 from repro.core.executor import ExecutionResult, Executor
 from repro.core.ir import IRNode
-from repro.core.options import ExecutionOptions, merge_legacy_kwargs
+from repro.core.options import ExecutionOptions
 from repro.core.parameters import (
     ParameterSpec,
     auto_parameterize,
@@ -209,16 +214,18 @@ class PreparedQuery:
 
         Each batch item is either a dict (named parameters) or a sequence
         (positional ``?`` parameters).  The traced program is compiled at
-        most once across the whole loop.
+        most once across the whole loop, the table inputs are converted and
+        flattened once, and each binding then costs one call of the cached
+        program (on the ``compiled`` executor, one generated-function call).
+        All bindings are validated up front, so a bad one fails before any
+        query runs.
         """
-        results: list[ExecutionResult] = []
-        for batch in param_batches:
-            if isinstance(batch, dict):
-                bound = self.bind(**batch)
-            else:
-                bound = self.bind(*batch)
-            results.append(bound.execute())
-        return results
+        params = self.parameters
+        batches = [dict(batch) if isinstance(batch, dict)
+                   else positional_binding(params, tuple(batch))
+                   for batch in param_batches]
+        inputs = self.compiled._prepare_execution()
+        return self.compiled.executor.execute_many(inputs, batches)
 
     def explain(self) -> str:
         return self.compiled.explain()
@@ -333,26 +340,20 @@ class TQPSession:
         return (compiled.schema_fingerprint
                 == self._scan_fingerprint(compiled.operator_plan))
 
-    def _resolve_options(self, options: Optional[ExecutionOptions],
-                         **legacy: Any) -> ExecutionOptions:
+    def _resolve_options(self, options: Optional[ExecutionOptions]
+                         ) -> ExecutionOptions:
         # A call without an options object inherits the session's
         # default_options wholesale (including optimize / use_cache /
         # auto_parameterize); a passed object fully specifies those boolean
         # fields, while backend/device/parallelism still inherit via None.
         base = options if options is not None else self.default_options
-        merged = merge_legacy_kwargs(base, stacklevel=4, **legacy)
-        resolved = merged.resolved(self.default_backend, self.default_device,
-                                   self.default_parallelism)
+        resolved = base.resolved(self.default_backend, self.default_device,
+                                 self.default_parallelism)
         if resolved.backend not in BACKENDS:
             raise ExecutionError(f"unknown backend {resolved.backend!r}")
         return resolved
 
     def compile(self, sql: str, options: Optional[ExecutionOptions] = None,
-                backend: Optional[str] = None,
-                device: Device | str | None = None,
-                optimize: Optional[bool] = None,
-                use_cache: Optional[bool] = None,
-                parallelism: Optional[int] = None,
                 param_types: Optional[dict] = None) -> CompiledQuery:
         """Compile a SQL query down to an Executor.
 
@@ -362,10 +363,8 @@ class TQPSession:
                 compiled plan then expects values at execution time.
             options: all compile/execute knobs in one
                 :class:`ExecutionOptions` (backend, device, optimize,
-                use_cache, parallelism, auto_parameterize).  Unset fields
-                inherit the session defaults.
-            backend, device, optimize, use_cache, parallelism: deprecated
-                keyword forms of the same knobs (kept working via a shim).
+                use_cache, parallelism, auto_parameterize, encoding,
+                executor).  Unset fields inherit the session defaults.
             param_types: optional logical-type hints for parameters, by name
                 (used by auto-parameterization; explicit markers are typed
                 from their comparison context by the analyzer).
@@ -375,9 +374,7 @@ class TQPSession:
         cache entry serves every binding.  A hit returns the *same*
         :class:`CompiledQuery` and skips parse→optimize→plan→trace.
         """
-        resolved = self._resolve_options(options, backend=backend, device=device,
-                                         optimize=optimize, use_cache=use_cache,
-                                         parallelism=parallelism)
+        resolved = self._resolve_options(options)
         cache_key = None
         if resolved.use_cache:
             hint_key = tuple(sorted(
@@ -408,7 +405,7 @@ class TQPSession:
         return compiled
 
     def prepare(self, sql: str, options: Optional[ExecutionOptions] = None,
-                **legacy: Any) -> PreparedQuery:
+                param_types: Optional[dict] = None) -> PreparedQuery:
         """Compile a parameterized statement for repeated execution.
 
         ``sql`` may use ``:name`` or ``?`` markers.  The returned
@@ -417,13 +414,10 @@ class TQPSession:
         share one compiled (and, on the graph backends, one *traced*)
         artifact.
         """
-        compiled = self.compile(sql, options=options, **legacy)
+        compiled = self.compile(sql, options=options, param_types=param_types)
         return PreparedQuery(compiled, self)
 
     def sql(self, sql: str, options: Optional[ExecutionOptions] = None,
-            backend: Optional[str] = None,
-            device: Device | str | None = None,
-            parallelism: Optional[int] = None,
             params: Optional[dict] = None) -> DataFrame:
         """Compile and execute in one call, returning a DataFrame.
 
@@ -433,8 +427,7 @@ class TQPSession:
         share one compiled plan (their results still match literal
         execution exactly).
         """
-        resolved = self._resolve_options(options, backend=backend, device=device,
-                                         parallelism=parallelism)
+        resolved = self._resolve_options(options)
         if params:
             return self.compile(sql, options=resolved).run(params=params)
         if resolved.auto_parameterize:

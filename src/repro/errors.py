@@ -28,6 +28,15 @@ class GraphError(TensorRuntimeError):
     """Raised for malformed tensor graphs (missing inputs, cycles, ...)."""
 
 
+class CodegenError(GraphError):
+    """Raised when a graph cannot be lowered to generated code.
+
+    The message states the unsupported construct; executor mode ``auto``
+    catches this and falls back to the graph interpreter, mode ``compiled``
+    surfaces it to the caller.
+    """
+
+
 class SQLError(TQPError):
     """Base class for SQL frontend errors."""
 

@@ -1,9 +1,13 @@
 """Interpreter for traced tensor graphs.
 
-The interpreter replays a :class:`~repro.tensor.graph.Graph` over new inputs.
-It is shared by the TorchScript-like ("scripted") and ONNX-like targets; the
-WASM backend wraps it with a de-optimized dispatch loop (see
-``repro.backends.wasm_sim``).
+The interpreter replays a :class:`~repro.tensor.graph.Graph` over new inputs,
+one node at a time.  It is the de-optimized sibling of the codegen executor
+(:mod:`repro.tensor.codegen`): both consume the shared op-semantics registry
+(:mod:`repro.tensor.op_semantics`), so a graph produces identical results and
+identical profile-event streams under either.  The interpreter remains the
+executor of record for backends that *model* per-node dispatch overhead (the
+ONNX-like/WASM path wraps it with a busy-wait per node, see
+``repro.backends.wasm_sim``) and the fallback for graphs codegen rejects.
 """
 
 from __future__ import annotations
@@ -11,7 +15,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.errors import GraphError
-from repro.tensor import ops
+from repro.tensor import op_semantics, ops
 from repro.tensor.device import Device, parse_device
 from repro.tensor.graph import Graph
 from repro.tensor.profiler import lane_scope
@@ -50,16 +54,13 @@ class GraphInterpreter:
         for node in self.graph.nodes:
             node_inputs = [env[value_id] for value_id in node.inputs]
             node_device = dev
-            if node.op == "to_device":
-                node_device = parse_device(node.attrs.get("device"))
-                # A traced transfer whose input already lives on the target
-                # device is a no-op: forward the tensor without dispatching,
-                # so cost models never charge the same PCIe move twice (the
-                # interpreter already moved graph inputs above).
-                if node_inputs and node_inputs[0].device == node_device:
+            if node.op == op_semantics.TRANSFER_OP:
+                node_device = op_semantics.transfer_target(node.attrs)
+                if node_inputs and op_semantics.transfer_is_noop(
+                        node_inputs[0].device, node_device):
                     env[node.outputs[0]] = node_inputs[0]
                     continue
-            lane = node.attrs.get("lane")
+            lane = op_semantics.node_lane(node.attrs)
             if lane is None:
                 outputs = ops.execute_op(node.op, node_inputs, node.attrs, node_device)
             else:

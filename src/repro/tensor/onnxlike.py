@@ -69,8 +69,16 @@ def _validate_fused_nodes(graph: Graph) -> None:
                                  node.attrs)
 
 
-def export_graph(graph: Graph) -> dict[str, Any]:
-    """Serialize ``graph`` into a JSON-compatible model dict."""
+def export_ir(graph: Graph, encode_initializers: bool = True) -> dict[str, Any]:
+    """Validate ``graph`` and lower it into the portable model structure.
+
+    This is the stable IR both the serialized format and the codegen executor
+    (:mod:`repro.tensor.codegen`) consume.  With ``encode_initializers=False``
+    the initializer payloads stay raw numpy arrays (keyed by int value id) —
+    the in-process consumers avoid the tolist/array round-trip that only the
+    on-disk format needs, but see the exact same node/attr structure the JSON
+    file would carry.
+    """
     graph.validate()
     _validate_fused_nodes(graph)
     return {
@@ -81,14 +89,20 @@ def export_graph(graph: Graph) -> dict[str, Any]:
             {"id": vid, "name": graph.values[vid].name} for vid in graph.inputs
         ],
         "outputs": list(graph.outputs),
-        "initializers": {
-            str(vid): _encode_array(arr) for vid, arr in graph.initializers.items()
-        },
+        "initializers": (
+            {str(vid): _encode_array(arr) for vid, arr in graph.initializers.items()}
+            if encode_initializers else dict(graph.initializers)
+        ),
         "nodes": [
             {"op": n.op, "inputs": n.inputs, "outputs": n.outputs, "attrs": n.attrs}
             for n in graph.nodes
         ],
     }
+
+
+def export_graph(graph: Graph) -> dict[str, Any]:
+    """Serialize ``graph`` into a JSON-compatible model dict."""
+    return export_ir(graph, encode_initializers=True)
 
 
 def import_graph(model: dict[str, Any]) -> Graph:

@@ -36,9 +36,19 @@ class OpDef:
         kernel: function ``(arrays, attrs) -> list[np.ndarray]``.
         n_outputs: number of output tensors the kernel produces.
         elementwise: hint used by graph passes (fusion/CSE) and cost models.
+        np_fn: for ops whose kernel is exactly ``[np_fn(*arrays)]`` and
+            ignores attrs, the raw numpy callable; the codegen emitter calls
+            it directly instead of going through the kernel wrapper.  ``None``
+            for every other op.
+        specialize: optional ``(attrs) -> fn(*arrays) -> np.ndarray`` factory
+            for single-output ops whose kernel does per-call work on ``attrs``
+            (decoding a slice key, reading an axis).  A compiled graph knows
+            each node's attrs statically, so the emitter binds them once at
+            compile time; the kernel stays the dynamic-dispatch reference.
     """
 
-    __slots__ = ("name", "kernel", "n_outputs", "elementwise")
+    __slots__ = ("name", "kernel", "n_outputs", "elementwise", "np_fn",
+                 "specialize")
 
     def __init__(
         self,
@@ -46,25 +56,31 @@ class OpDef:
         kernel: Callable[[list[np.ndarray], dict], list[np.ndarray]],
         n_outputs: int = 1,
         elementwise: bool = False,
+        np_fn: "Callable | None" = None,
+        specialize: "Callable | None" = None,
     ):
         self.name = name
         self.kernel = kernel
         self.n_outputs = n_outputs
         self.elementwise = elementwise
+        self.np_fn = np_fn
+        self.specialize = specialize
 
 
 OP_REGISTRY: dict[str, OpDef] = {}
 
 
 def register_op(
-    name: str, n_outputs: int = 1, elementwise: bool = False
+    name: str, n_outputs: int = 1, elementwise: bool = False,
+    np_fn: "Callable | None" = None, specialize: "Callable | None" = None,
 ) -> Callable[[Callable], Callable]:
     """Register ``kernel`` under ``name`` in the global op registry."""
 
     def decorator(kernel: Callable) -> Callable:
         if name in OP_REGISTRY:
             raise TensorRuntimeError(f"op {name!r} registered twice")
-        OP_REGISTRY[name] = OpDef(name, kernel, n_outputs, elementwise)
+        OP_REGISTRY[name] = OpDef(name, kernel, n_outputs, elementwise,
+                                  np_fn, specialize)
         return kernel
 
     return decorator
@@ -366,7 +382,7 @@ def morsel_dispatch(a: Tensor, lane: int, morsel: int, rows: int = 0) -> Tensor:
 
 
 def _binary_op(name: str, np_fn: Callable) -> Callable[[Any, Any], Tensor]:
-    @register_op(name, elementwise=True)
+    @register_op(name, elementwise=True, np_fn=np_fn)
     def _kernel(arrays: list[np.ndarray], attrs: dict, _fn=np_fn) -> list[np.ndarray]:
         return [_fn(arrays[0], arrays[1])]
 
@@ -402,7 +418,7 @@ logical_xor = _binary_op("logical_xor", np.logical_xor)
 
 
 def _unary_op(name: str, np_fn: Callable) -> Callable[[Any], Tensor]:
-    @register_op(name, elementwise=True)
+    @register_op(name, elementwise=True, np_fn=np_fn)
     def _kernel(arrays: list[np.ndarray], attrs: dict, _fn=np_fn) -> list[np.ndarray]:
         return [_fn(arrays[0])]
 
@@ -439,7 +455,7 @@ def clip(a: Tensor, min_value: float | None = None, max_value: float | None = No
     return _apply("clip", [_coerce(a)], {"min": min_value, "max": max_value})
 
 
-@register_op("where", elementwise=True)
+@register_op("where", elementwise=True, np_fn=np.where)
 def _where_kernel(arrays: list[np.ndarray], attrs: dict) -> list[np.ndarray]:
     return [np.where(arrays[0], arrays[1], arrays[2])]
 
@@ -452,7 +468,7 @@ def where(cond: Tensor, a: Any, b: Any) -> Tensor:
     return _apply("where", [cond, a, b], device=device)
 
 
-@register_op("isin")
+@register_op("isin", np_fn=np.isin)
 def _isin_kernel(arrays: list[np.ndarray], attrs: dict) -> list[np.ndarray]:
     return [np.isin(arrays[0], arrays[1])]
 
@@ -581,7 +597,12 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     return _apply("stack", ts, {"axis": axis}, device=same_device(ts))
 
 
-@register_op("slice")
+def _slice_specialize(attrs: dict) -> Callable:
+    key = _decode_slice_key(attrs["key"])
+    return lambda a: a[key]
+
+
+@register_op("slice", specialize=_slice_specialize)
 def _slice_kernel(arrays: list[np.ndarray], attrs: dict) -> list[np.ndarray]:
     key = _decode_slice_key(attrs["key"])
     return [np.asarray(arrays[0][key])]
@@ -679,7 +700,12 @@ def sliding_window(a: Tensor, width: int) -> Tensor:
 # ---------------------------------------------------------------------------
 
 
-@register_op("take")
+def _take_specialize(attrs: dict) -> Callable:
+    axis = attrs.get("axis", 0)
+    return lambda a, idx: np.take(a, idx, axis=axis)
+
+
+@register_op("take", specialize=_take_specialize)
 def _take_kernel(arrays: list[np.ndarray], attrs: dict) -> list[np.ndarray]:
     return [np.take(arrays[0], arrays[1], axis=attrs.get("axis", 0))]
 
@@ -690,9 +716,15 @@ def take(a: Tensor, indices: Tensor, axis: int = 0) -> Tensor:
     return _apply("take", [ta, ti], {"axis": axis}, device=device)
 
 
-@register_op("boolean_mask")
+def _boolean_mask_np(a: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    if mask.dtype != np.bool_:
+        mask = mask.astype(bool)
+    return a[mask]
+
+
+@register_op("boolean_mask", np_fn=_boolean_mask_np)
 def _boolean_mask_kernel(arrays: list[np.ndarray], attrs: dict) -> list[np.ndarray]:
-    return [arrays[0][arrays[1].astype(bool)]]
+    return [_boolean_mask_np(arrays[0], arrays[1])]
 
 
 def boolean_mask(a: Tensor, mask: Tensor) -> Tensor:
@@ -701,9 +733,13 @@ def boolean_mask(a: Tensor, mask: Tensor) -> Tensor:
     return _apply("boolean_mask", [ta, tm], device=device)
 
 
-@register_op("nonzero")
+def _nonzero_np(a: np.ndarray) -> np.ndarray:
+    return np.nonzero(a)[0].astype(np.int64, copy=False)
+
+
+@register_op("nonzero", np_fn=_nonzero_np)
 def _nonzero_kernel(arrays: list[np.ndarray], attrs: dict) -> list[np.ndarray]:
-    return [np.nonzero(arrays[0])[0].astype(np.int64)]
+    return [_nonzero_np(arrays[0])]
 
 
 def nonzero(mask: Tensor) -> Tensor:
@@ -737,6 +773,10 @@ def _scatter_inputs(inputs: list[Tensor], size: "int | Tensor",
 def _scatter_add_kernel(arrays: list[np.ndarray], attrs: dict) -> list[np.ndarray]:
     arrays, size = _scatter_size(arrays, attrs)
     index, values = arrays
+    if values.dtype.kind == "f" and index.ndim == 1 and values.ndim == 1:
+        # bincount accumulates out[index[i]] += values[i] in the same pass
+        # order as np.add.at, already in float64, and is much faster.
+        return [np.bincount(index, weights=values, minlength=size)]
     out = np.zeros(size, dtype=np.result_type(values.dtype, np.float64)
                    if values.dtype.kind == "f" else values.dtype)
     np.add.at(out, index, values)

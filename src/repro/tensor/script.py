@@ -1,36 +1,90 @@
-"""TorchScript-like compilation target: trace + optimize + interpret.
+"""TorchScript-like compilation target: trace + optimize + execute.
 
 ``script_trace(fn, example_inputs)`` returns a :class:`ScriptedProgram` — a
 standalone, optimized tensor program that can be executed repeatedly on new
 inputs (and moved across devices), matching the role ``torch.jit.trace`` plays
 in the paper's TorchScript backend.
+
+A scripted program owns the choice of *executor*:
+
+* ``interpret`` — replay the graph node-by-node
+  (:class:`~repro.tensor.interpreter.GraphInterpreter`);
+* ``compiled`` — lower the graph to one generated Python function
+  (:mod:`repro.tensor.codegen`) and call that; raises
+  :class:`~repro.errors.CodegenError` when the graph cannot be lowered;
+* ``auto`` — compile when possible, otherwise silently fall back to the
+  interpreter and remember why in :attr:`ScriptedProgram.fallback_reason`.
+
+Both executors consume the shared op-semantics registry, so results and
+profile-event streams are identical either way.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Sequence
 
-from repro.tensor import passes as graph_passes
-from repro.tensor import tracing
+from repro.errors import CodegenError
+from repro.tensor import codegen, passes as graph_passes, tracing
 from repro.tensor.device import Device
 from repro.tensor.graph import Graph
 from repro.tensor.interpreter import GraphInterpreter
 from repro.tensor.tensor import Tensor
 
+#: Valid values for the ``executor`` knob, here and in ExecutionOptions.
+EXECUTOR_MODES = ("interpret", "compiled", "auto")
+
 
 class ScriptedProgram:
     """An optimized, replayable tensor program."""
 
-    def __init__(self, graph: Graph, per_node_overhead_s: float = 0.0):
+    def __init__(self, graph: Graph, per_node_overhead_s: float = 0.0,
+                 executor: str = "interpret"):
+        if executor not in EXECUTOR_MODES:
+            raise ValueError(
+                f"executor must be one of {EXECUTOR_MODES}, got {executor!r}")
         self.graph = graph
+        self.executor = executor
         self._interpreter = GraphInterpreter(graph, per_node_overhead_s)
+        self._compiled: "codegen.CompiledGraphProgram | None" = None
+        #: Why ``auto`` fell back to the interpreter (``None`` = it did not).
+        self.fallback_reason: "str | None" = None
+        if executor == "compiled":
+            self._compiled = codegen.compile_graph(graph, per_node_overhead_s)
+        elif executor == "auto":
+            try:
+                self._compiled = codegen.compile_graph(graph,
+                                                       per_node_overhead_s)
+            except CodegenError as exc:
+                self.fallback_reason = str(exc)
+
+    @property
+    def uses_codegen(self) -> bool:
+        """Whether :meth:`run` dispatches to generated code."""
+        return self._compiled is not None
+
+    @property
+    def compiled_source(self) -> "str | None":
+        """The generated Python source, when codegen is active."""
+        return self._compiled.source if self._compiled is not None else None
+
+    def serving_fn(self, device: Device | str):
+        """Unprofiled serving entry (see ``CompiledGraphProgram.serving_fn``).
+
+        ``None`` when this program replays through the interpreter — callers
+        fall back to :meth:`run` per request.
+        """
+        if self._compiled is None:
+            return None
+        return self._compiled.serving_fn(device)
 
     def __call__(self, *inputs: Tensor, device: Device | str | None = None
                  ) -> list[Tensor]:
-        return self._interpreter.run(list(inputs), device=device)
+        return self.run(list(inputs), device=device)
 
     def run(self, inputs: Sequence[Tensor], device: Device | str | None = None
             ) -> list[Tensor]:
+        if self._compiled is not None:
+            return self._compiled.run(list(inputs), device=device)
         return self._interpreter.run(list(inputs), device=device)
 
     @property
@@ -41,13 +95,15 @@ class ScriptedProgram:
         return self.graph.op_counts()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
-        return f"ScriptedProgram(nodes={self.num_nodes})"
+        how = "compiled" if self.uses_codegen else "interpreted"
+        return f"ScriptedProgram(nodes={self.num_nodes}, {how})"
 
 
 def script_trace(fn: Callable, example_inputs: Sequence[Tensor],
-                 optimize: bool = True, name: str = "scripted") -> ScriptedProgram:
+                 optimize: bool = True, name: str = "scripted",
+                 executor: str = "interpret") -> ScriptedProgram:
     """Trace ``fn`` and return an optimized :class:`ScriptedProgram`."""
     graph = tracing.trace(fn, example_inputs, name=name)
     if optimize:
         graph = graph_passes.optimize(graph)
-    return ScriptedProgram(graph)
+    return ScriptedProgram(graph, executor=executor)

@@ -1,0 +1,63 @@
+"""Differential TPC-H conformance for the compiled executor (tier 2).
+
+Every TPC-H query runs under both executors — interpreted graph replay and
+the codegen path (``executor="compiled"``, which *raises* rather than falls
+back, so a query silently losing codegen support fails loudly here) — across
+serial and morsel-parallel plans, and must match the row-at-a-time oracle
+row-for-row (sorted, float tolerance, as everywhere in the differential
+suites: morsel-parallel plans reorder and re-associate).
+
+``bench_compiled_executor.py`` separately holds the two modes to *bitwise*
+equality against each other; this suite pins both to the independent oracle.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import RowEngine
+from repro.datasets import tpch
+from repro.frontend import sql_to_physical
+from repro import ExecutionOptions
+
+pytestmark = pytest.mark.tier2
+
+SCALE_FACTOR = 0.002
+
+EXECUTORS = ("interpret", "compiled")
+
+PARALLELISMS = (1, 4)
+
+
+@pytest.fixture(scope="module")
+def oracle(tpch_tiny):
+    """Row-engine result per query id, computed once and shared."""
+    session, tables = tpch_tiny
+    cache = {}
+
+    def result_for(query_id):
+        if query_id not in cache:
+            plan = sql_to_physical(tpch.query(query_id, SCALE_FACTOR),
+                                   session.catalog)
+            cache[query_id] = RowEngine(tables).execute_to_dataframe(plan)
+        return cache[query_id]
+
+    return result_for
+
+
+@pytest.mark.parametrize("parallelism", PARALLELISMS)
+@pytest.mark.parametrize("executor", EXECUTORS)
+@pytest.mark.parametrize("query_id", tpch.ALL_QUERY_IDS)
+def test_tpch_compiled_differential(tpch_tiny, oracle, frames_match, query_id,
+                                    executor, parallelism):
+    session, _ = tpch_tiny
+    sql = tpch.query(query_id, SCALE_FACTOR)
+    options = ExecutionOptions(backend="torchscript", device="cpu",
+                               executor=executor, parallelism=parallelism)
+    compiled = session.compile(sql, options=options)
+    result = compiled.execute()
+    expected = "compiled" if executor == "compiled" else "interpreted"
+    assert result.executor_mode == expected, (
+        f"Q{query_id} did not run on the {expected} executor")
+    frames_match(result.to_dataframe(), oracle(query_id),
+                 f"Q{query_id} [{executor}/parallelism={parallelism}]")

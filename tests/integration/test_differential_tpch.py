@@ -17,6 +17,7 @@ import pytest
 from repro.baselines import RowEngine
 from repro.datasets import tpch
 from repro.frontend import sql_to_physical
+from repro import ExecutionOptions
 
 pytestmark = pytest.mark.tier2
 
@@ -54,8 +55,7 @@ def test_tpch_differential(tpch_tiny, oracle, frames_match, query_id, backend,
                            device, parallelism):
     session, _ = tpch_tiny
     sql = tpch.query(query_id, SCALE_FACTOR)
-    result = session.sql(sql, backend=backend, device=device,
-                         parallelism=parallelism)
+    result = session.sql(sql, options=ExecutionOptions(backend=backend, device=device, parallelism=parallelism))
     frames_match(result, oracle(query_id),
                  f"Q{query_id} [{backend}/{device}/parallelism={parallelism}]")
 
@@ -66,8 +66,7 @@ def test_tpch_differential_wasm(tpch_tiny, oracle, frames_match, query_id,
                                 parallelism):
     session, _ = tpch_tiny
     sql = tpch.query(query_id, SCALE_FACTOR)
-    result = session.sql(sql, backend="onnx", device="wasm",
-                         parallelism=parallelism)
+    result = session.sql(sql, options=ExecutionOptions(backend="onnx", device="wasm", parallelism=parallelism))
     frames_match(result, oracle(query_id),
                  f"Q{query_id} [onnx/wasm/parallelism={parallelism}]")
 
@@ -79,17 +78,17 @@ def test_parallel_plans_actually_parallelize(tpch_tiny):
     session, _ = tpch_tiny
     for query_id in (1, 6):
         sql = tpch.query(query_id, SCALE_FACTOR)
-        parallel_plan = session.compile(sql, parallelism=4).operator_plan.root.pretty()
-        serial_plan = session.compile(sql, parallelism=1).operator_plan.root.pretty()
+        parallel_plan = session.compile(sql, options=ExecutionOptions(parallelism=4)).operator_plan.root.pretty()
+        serial_plan = session.compile(sql, options=ExecutionOptions(parallelism=1)).operator_plan.root.pretty()
         assert "MorselScan" in parallel_plan and "workers=4" in parallel_plan
         assert "Morsel" not in serial_plan and "Parallel" not in serial_plan
     # Q3's join inputs stay above the parallelism threshold even after the
     # statistics-based selectivity estimates shrink filtered cardinalities
     # (Q14's ~1.4%-selective one-month date range now correctly plans a
     # serial join over the few surviving rows).
-    q3 = session.compile(tpch.query(3, SCALE_FACTOR), parallelism=4)
+    q3 = session.compile(tpch.query(3, SCALE_FACTOR), options=ExecutionOptions(parallelism=4))
     assert "PartitionedHashJoin[inner]" in q3.operator_plan.root.pretty()
-    q14 = session.compile(tpch.query(14, SCALE_FACTOR), parallelism=4)
+    q14 = session.compile(tpch.query(14, SCALE_FACTOR), options=ExecutionOptions(parallelism=4))
     assert "PartitionedHashJoin" not in q14.operator_plan.root.pretty()
-    q1 = session.compile(tpch.query(1, SCALE_FACTOR), parallelism=4)
+    q1 = session.compile(tpch.query(1, SCALE_FACTOR), options=ExecutionOptions(parallelism=4))
     assert "ParallelHashAggregate" in q1.operator_plan.root.pretty()

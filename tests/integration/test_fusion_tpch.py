@@ -13,6 +13,7 @@ import pytest
 
 from repro.datasets import tpch
 from repro.tensor import GraphInterpreter, Profiler, passes
+from repro import ExecutionOptions
 
 SCALE_FACTOR = 0.002
 
@@ -22,7 +23,7 @@ _NO_FUSION = tuple(p for p in passes.DEFAULT_PASSES if p is not passes.fuse_elem
 
 def _trace_query(session, query_id):
     sql = tpch.query(query_id, SCALE_FACTOR)
-    compiled = session.compile(sql, backend="torchscript-noopt", use_cache=False)
+    compiled = session.compile(sql, options=ExecutionOptions(backend="torchscript-noopt", use_cache=False))
     inputs = session.prepare_inputs(compiled.executor)
     compiled.executor.compile_program(inputs)
     raw_graph = compiled.executor._program.graph

@@ -10,6 +10,7 @@ from repro.baselines import RowEngine
 from repro.datasets import amazon_reviews, iris
 from repro.frontend import sql_to_physical
 from repro.ml import compile_row_fn
+from repro import ExecutionOptions
 from repro.ml.models import (
     BagOfWordsVectorizer,
     GradientBoostingRegressor,
@@ -52,14 +53,14 @@ def test_sentiment_model_has_signal(sentiment_setup):
 
 def test_figure4_query_on_all_backends(sentiment_setup):
     session, _, _, _ = sentiment_setup
-    eager = session.compile(SENTIMENT_SQL, backend="pytorch").run()
+    eager = session.compile(SENTIMENT_SQL, options=ExecutionOptions(backend="pytorch")).run()
     assert eager.columns == ["brand", "actual_positive", "predicted_positive"]
     assert eager.num_rows == len(amazon_reviews.BRANDS)
     # predictions are counts between 0 and the per-brand review count
     assert all(0 <= v <= 1200 for v in eager["predicted_positive"])
     for backend, device in [("torchscript", "cpu"), ("torchscript", "cuda"),
                             ("onnx", "wasm")]:
-        other = session.compile(SENTIMENT_SQL, backend=backend, device=device).run()
+        other = session.compile(SENTIMENT_SQL, options=ExecutionOptions(backend=backend, device=device)).run()
         assert other.equals(eager)
 
 

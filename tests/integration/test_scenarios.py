@@ -6,6 +6,7 @@ import json
 
 from repro.bench import time_rowengine, time_tqp
 from repro.datasets import tpch
+from repro import ExecutionOptions
 from repro.viz import (
     kernel_breakdown,
     operator_breakdown,
@@ -19,7 +20,7 @@ SCALE_FACTOR = 0.002
 def test_scenario1_profiling_workflow(tpch_tiny, tmp_path):
     """Scenario 1: pip-install → ingest → compile → profile → inspect artifacts."""
     session, _ = tpch_tiny
-    compiled = session.compile(tpch.query(6, SCALE_FACTOR), backend="pytorch")
+    compiled = session.compile(tpch.query(6, SCALE_FACTOR), options=ExecutionOptions(backend="pytorch"))
     outcome = compiled.execute(profile=True)
 
     operators = operator_breakdown(outcome.profile, top_k=5)
@@ -45,7 +46,7 @@ def test_scenario2_backend_switch_workflow(tpch_tiny):
     reference = None
     for backend, device in [("pytorch", "cpu"), ("torchscript", "cpu"),
                             ("torchscript", "cuda"), ("onnx", "cpu"), ("onnx", "wasm")]:
-        frame = session.compile(sql, backend=backend, device=device).run()
+        frame = session.compile(sql, options=ExecutionOptions(backend=backend, device=device)).run()
         if reference is None:
             reference = frame
         else:

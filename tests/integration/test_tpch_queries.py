@@ -14,6 +14,7 @@ import pytest
 from repro.baselines import RowEngine
 from repro.datasets import tpch
 from repro.frontend import sql_to_physical
+from repro import ExecutionOptions
 
 SCALE_FACTOR = 0.002
 
@@ -64,9 +65,9 @@ def test_tpch_results_stable_across_backends(tpch_tiny, query_id):
     """The compiled (traced) backends must agree with eager execution."""
     session, _ = tpch_tiny
     sql = tpch.query(query_id, SCALE_FACTOR)
-    eager = session.compile(sql, backend="pytorch").run()
-    traced = session.compile(sql, backend="torchscript").run()
-    portable = session.compile(sql, backend="onnx").run()
+    eager = session.compile(sql, options=ExecutionOptions(backend="pytorch")).run()
+    traced = session.compile(sql, options=ExecutionOptions(backend="torchscript")).run()
+    portable = session.compile(sql, options=ExecutionOptions(backend="onnx")).run()
     assert traced.equals(eager)
     assert portable.equals(eager)
 
@@ -75,9 +76,9 @@ def test_tpch_results_stable_across_backends(tpch_tiny, query_id):
 def test_tpch_results_stable_across_devices(tpch_tiny, query_id):
     session, _ = tpch_tiny
     sql = tpch.query(query_id, SCALE_FACTOR)
-    cpu = session.compile(sql, backend="torchscript", device="cpu").run()
-    gpu = session.compile(sql, backend="torchscript", device="cuda").run()
-    web = session.compile(sql, backend="onnx", device="wasm").run()
+    cpu = session.compile(sql, options=ExecutionOptions(backend="torchscript", device="cpu")).run()
+    gpu = session.compile(sql, options=ExecutionOptions(backend="torchscript", device="cuda")).run()
+    web = session.compile(sql, options=ExecutionOptions(backend="onnx", device="wasm")).run()
     assert gpu.equals(cpu)
     assert web.equals(cpu)
 

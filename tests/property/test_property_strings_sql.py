@@ -12,6 +12,7 @@ from repro.baselines import run_sql
 from repro.core import strings
 from repro.core.columnar import decode_strings, encode_strings
 from repro.tensor import ops
+from repro import ExecutionOptions
 
 # Text alphabet kept to a handful of characters so patterns actually match.
 words = st.text(alphabet="abcx ", min_size=0, max_size=12)
@@ -124,6 +125,6 @@ def test_backends_agree_on_random_queries(seed, n):
     session.register("t", frame)
     sql = ("select s, sum(case when v > 0 then v else 0 end) as positive_sum "
            "from t group by s order by s")
-    eager = session.compile(sql, backend="pytorch").run()
-    traced = session.compile(sql, backend="torchscript").run()
+    eager = session.compile(sql, options=ExecutionOptions(backend="pytorch")).run()
+    traced = session.compile(sql, options=ExecutionOptions(backend="torchscript")).run()
     assert traced.equals(eager)

@@ -1,9 +1,8 @@
-"""Unit tests for ExecutionOptions and the legacy-kwarg deprecation shim."""
+"""Unit tests for ExecutionOptions and the session entry-point signatures."""
 
 import pytest
 
 from repro import DataFrame, ExecutionOptions, TQPSession
-from repro.core.options import merge_legacy_kwargs
 from repro.errors import ExecutionError
 
 import numpy as np
@@ -37,20 +36,26 @@ def test_cache_key_covers_the_compile_knobs():
     a = ExecutionOptions(backend="torchscript").resolved("pytorch", "cpu")
     b = a.replace(optimize=False)
     c = a.replace(parallelism=4)
-    assert len({a.cache_key(), b.cache_key(), c.cache_key()}) == 3
+    d = a.replace(executor="interpret")
+    assert len({a.cache_key(), b.cache_key(), c.cache_key(), d.cache_key()}) == 4
 
 
-def test_legacy_kwargs_warn_and_win():
-    with pytest.warns(DeprecationWarning):
-        merged = merge_legacy_kwargs(ExecutionOptions(backend="onnx"),
-                                     backend="torchscript", parallelism=4)
-    assert merged.backend == "torchscript"
-    assert merged.parallelism == 4
+def test_executor_mode_is_validated():
+    with pytest.raises(ValueError):
+        ExecutionOptions(executor="jit")
+    assert ExecutionOptions(executor="compiled").executor == "compiled"
+    assert ExecutionOptions().executor == "auto"
 
 
-def test_legacy_shim_rejects_unknown_kwargs():
+def test_legacy_kwargs_are_gone(session):
+    # The PR-3 deprecation shim was removed: the old spellings now fail
+    # loudly instead of warning.
     with pytest.raises(TypeError):
-        merge_legacy_kwargs(None, nonsense=True)
+        session.compile("select sum(a) as s from t", **{"backend": "torchscript"})
+    with pytest.raises(TypeError):
+        session.sql("select sum(a) as s from t", **{"device": "cuda"})
+    with pytest.raises(TypeError):
+        session.prepare("select sum(a) as s from t", **{"parallelism": 2})
 
 
 def test_session_compile_accepts_options_object(session):
@@ -61,20 +66,22 @@ def test_session_compile_accepts_options_object(session):
     assert compiled.run().to_dict() == {"s": [6.0]}
 
 
-def test_session_compile_legacy_kwargs_still_work(session):
-    with pytest.warns(DeprecationWarning):
-        compiled = session.compile("select sum(a) as s from t",
-                                   backend="torchscript", device="cuda")
-    assert compiled.executor.backend.name == "torchscript"
-    assert compiled.executor.device.kind == "cuda"
-
-
-def test_options_and_legacy_kwargs_share_one_cache_entry(session):
-    with pytest.warns(DeprecationWarning):
-        a = session.compile("select sum(a) as s from t", backend="torchscript")
+def test_equal_options_share_one_cache_entry(session):
+    a = session.compile("select sum(a) as s from t",
+                        options=ExecutionOptions(backend="torchscript"))
     b = session.compile("select sum(a) as s from t",
                         options=ExecutionOptions(backend="torchscript"))
     assert a is b
+
+
+def test_executor_mode_splits_the_cache_entry(session):
+    a = session.compile("select sum(a) as s from t",
+                        options=ExecutionOptions(backend="torchscript",
+                                                 executor="interpret"))
+    b = session.compile("select sum(a) as s from t",
+                        options=ExecutionOptions(backend="torchscript",
+                                                 executor="compiled"))
+    assert a is not b
 
 
 def test_session_default_options():

@@ -7,6 +7,7 @@ from repro import DataFrame, TQPSession
 from repro.core import ir
 from repro.errors import CatalogError, ExecutionError
 from repro.tensor import onnxlike
+from repro import ExecutionOptions
 
 SQL = ("select region, sum(amount) as total from sales "
        "where amount > 10 group by region order by total desc")
@@ -33,7 +34,7 @@ def test_compile_produces_all_artifacts(session):
 
 
 def test_execute_returns_result_metadata(session):
-    outcome = session.compile(SQL, backend="pytorch").execute()
+    outcome = session.compile(SQL, options=ExecutionOptions(backend="pytorch")).execute()
     assert outcome.backend == "pytorch" and outcome.device == "cpu"
     assert outcome.measured_s > 0 and outcome.reported_s == outcome.measured_s
     assert outcome.to_dataframe().to_dict() == {
@@ -43,13 +44,13 @@ def test_execute_returns_result_metadata(session):
 @pytest.mark.parametrize("backend", ["pytorch", "torchscript", "onnx",
                                      "torchscript-noopt"])
 def test_all_backends_agree(session, backend):
-    reference = session.compile(SQL, backend="pytorch").run()
-    assert session.compile(SQL, backend=backend).run().equals(reference)
+    reference = session.compile(SQL, options=ExecutionOptions(backend="pytorch")).run()
+    assert session.compile(SQL, options=ExecutionOptions(backend=backend)).run().equals(reference)
 
 
 @pytest.mark.parametrize("device", ["cpu", "cuda"])
 def test_devices_agree_and_simulated_time_reported(session, device):
-    outcome = session.compile(SQL, backend="torchscript", device=device).execute()
+    outcome = session.compile(SQL, options=ExecutionOptions(backend="torchscript", device=device)).execute()
     assert outcome.to_dataframe()["total"].tolist() == [35.0, 25.0, 15.0]
     if device == "cuda":
         assert outcome.profile is not None
@@ -58,20 +59,20 @@ def test_devices_agree_and_simulated_time_reported(session, device):
 
 def test_wasm_device_requires_onnx_backend(session):
     with pytest.raises(ExecutionError):
-        session.compile(SQL, backend="torchscript", device="wasm")
-    outcome = session.compile(SQL, backend="onnx", device="wasm").execute()
+        session.compile(SQL, options=ExecutionOptions(backend="torchscript", device="wasm"))
+    outcome = session.compile(SQL, options=ExecutionOptions(backend="onnx", device="wasm")).execute()
     assert outcome.to_dataframe().num_rows == 3
 
 
 def test_profile_collects_operator_scopes(session):
-    outcome = session.compile(SQL, backend="pytorch").execute(profile=True)
+    outcome = session.compile(SQL, options=ExecutionOptions(backend="pytorch")).execute(profile=True)
     scopes = {row.key for row in outcome.profile.by_scope()}
     assert any(scope.startswith("HashAggregate") for scope in scopes)
     assert any(scope.startswith("Filter") for scope in scopes)
 
 
 def test_executor_graph_and_onnx_export(session, tmp_path):
-    compiled = session.compile(SQL, backend="torchscript")
+    compiled = session.compile(SQL, options=ExecutionOptions(backend="torchscript"))
     graph = compiled.executor_graph()
     assert graph.op_counts().get("scatter_add", 0) >= 1
     path = tmp_path / "query.onnx.json"
@@ -81,7 +82,7 @@ def test_executor_graph_and_onnx_export(session, tmp_path):
 
 
 def test_compiled_program_is_cached_and_input_layout_checked(session):
-    compiled = session.compile(SQL, backend="torchscript")
+    compiled = session.compile(SQL, options=ExecutionOptions(backend="torchscript"))
     inputs = session.prepare_inputs(compiled.executor)
     compiled.executor.execute(inputs)
     first_program = compiled.executor._program
@@ -106,7 +107,7 @@ def test_session_validation_errors(session):
     with pytest.raises(ExecutionError):
         TQPSession(default_backend="tvm")
     with pytest.raises(Exception):
-        session.compile(SQL, backend="not-a-backend")
+        session.compile(SQL, options=ExecutionOptions(backend="not-a-backend"))
     with pytest.raises(CatalogError):
         session.dataframe("missing")
     assert session.table_names() == ["sales"]

@@ -20,6 +20,7 @@ from repro.core.operators import PARALLEL_THRESHOLD_ROWS, MorselWorkerPool
 from repro.core.operators.parallel import effective_morsel_rows
 from repro.errors import CatalogError, ExecutionError
 from repro.tensor import Profiler, current_lane, lane_scope, ops, passes, tracing
+from repro import ExecutionOptions
 
 N_ROWS = 3 * PARALLEL_THRESHOLD_ROWS  # comfortably above the parallel threshold
 
@@ -173,9 +174,9 @@ PARALLEL_QUERIES = [
 
 @pytest.mark.parametrize("sql", PARALLEL_QUERIES)
 def test_parallel_matches_serial(session, frames_match, sql):
-    serial = session.sql(sql, parallelism=1)
+    serial = session.sql(sql, options=ExecutionOptions(parallelism=1))
     for parallelism in (2, 4, 7):
-        frames_match(session.sql(sql, parallelism=parallelism), serial,
+        frames_match(session.sql(sql, options=ExecutionOptions(parallelism=parallelism)), serial,
                      f"{sql} @ parallelism={parallelism}")
 
 
@@ -192,15 +193,15 @@ def test_parallel_nullable_aggregates_match_serial_and_oracle(session, frames,
            "sum(case when amount > 250 then amount end) as s, "
            "count(case when amount > 250 then amount end) as c "
            "from orders group by segment order by segment")
-    serial = session.sql(sql, parallelism=1)
-    frames_match(session.sql(sql, parallelism=4), serial, sql)
+    serial = session.sql(sql, options=ExecutionOptions(parallelism=1))
+    frames_match(session.sql(sql, options=ExecutionOptions(parallelism=4)), serial, sql)
     oracle = RowEngine(frames).execute_to_dataframe(
         sql_to_physical(sql, session.catalog))
     frames_match(serial, oracle, sql)
     # A group where nothing contributes must be NULL, at every parallelism.
     sql = "select min(case when amount > 1e9 then amount end) as lo from orders"
-    assert session.sql(sql, parallelism=1).to_dict() == {"lo": [None]}
-    assert session.sql(sql, parallelism=4).to_dict() == {"lo": [None]}
+    assert session.sql(sql, options=ExecutionOptions(parallelism=1)).to_dict() == {"lo": [None]}
+    assert session.sql(sql, options=ExecutionOptions(parallelism=4)).to_dict() == {"lo": [None]}
 
 
 def test_threaded_parallel_matches_serial(frames, frames_match):
@@ -208,7 +209,7 @@ def test_threaded_parallel_matches_serial(frames, frames_match):
     for name, frame in frames.items():
         sess.register(name, frame)
     sql = PARALLEL_QUERIES[0]
-    serial = sess.sql(sql, parallelism=1)
+    serial = sess.sql(sql, options=ExecutionOptions(parallelism=1))
     frames_match(sess.sql(sql), serial, sql)
 
 
@@ -220,45 +221,42 @@ def test_partitioned_join_kinds_match_serial(session, frames_match):
         "(select customer_id from customers where region = 'US')",
     ]
     for sql in joins:
-        frames_match(session.sql(sql, parallelism=4),
-                     session.sql(sql, parallelism=1), sql)
+        frames_match(session.sql(sql, options=ExecutionOptions(parallelism=4)),
+                     session.sql(sql, options=ExecutionOptions(parallelism=1)), sql)
 
 
 # -- planner choices ----------------------------------------------------------
 
 
 def test_planner_parallelizes_above_threshold_only(session):
-    big = session.compile("select * from orders where amount > 10",
-                          parallelism=4, use_cache=False)
+    big = session.compile("select * from orders where amount > 10", options=ExecutionOptions(parallelism=4, use_cache=False))
     assert "MorselFilter(workers=4)" in big.operator_plan.root.pretty()
-    small = session.compile("select * from customers where region = 'EU'",
-                            parallelism=4, use_cache=False)
+    small = session.compile("select * from customers where region = 'EU'", options=ExecutionOptions(parallelism=4, use_cache=False))
     plan = small.operator_plan.root.pretty()
     assert "Morsel" not in plan  # 600 rows is below the threshold
-    serial = session.compile("select * from orders where amount > 10",
-                             parallelism=1, use_cache=False)
+    serial = session.compile("select * from orders where amount > 10", options=ExecutionOptions(parallelism=1, use_cache=False))
     assert "Morsel" not in serial.operator_plan.root.pretty()
 
 
 def test_planner_keeps_subqueries_and_distinct_serial(session):
     sql = ("select count(distinct customer_id) as n from orders "
            "where amount > 10")
-    compiled = session.compile(sql, parallelism=4, use_cache=False)
+    compiled = session.compile(sql, options=ExecutionOptions(parallelism=4, use_cache=False))
     plan = compiled.operator_plan.root.pretty()
     assert "ParallelHashAggregate" not in plan  # COUNT DISTINCT cannot merge
     assert "MorselFilter" in plan               # the filter still parallelizes
     sql = ("select order_id from orders where amount > "
            "(select avg(amount) from orders)")
-    compiled = session.compile(sql, parallelism=4, use_cache=False)
+    compiled = session.compile(sql, options=ExecutionOptions(parallelism=4, use_cache=False))
     assert "MorselFilter" not in compiled.operator_plan.root.pretty()
 
 
 def test_plan_cache_keys_include_parallelism(session):
     sql = "select sum(amount) as s from orders"
-    p1 = session.compile(sql, parallelism=1)
-    p4 = session.compile(sql, parallelism=4)
+    p1 = session.compile(sql, options=ExecutionOptions(parallelism=1))
+    p4 = session.compile(sql, options=ExecutionOptions(parallelism=4))
     assert p1 is not p4
-    assert session.compile(sql, parallelism=4) is p4
+    assert session.compile(sql, options=ExecutionOptions(parallelism=4)) is p4
     assert p1.executor.parallelism == 1 and p4.executor.parallelism == 4
 
 
@@ -266,8 +264,7 @@ def test_plan_cache_keys_include_parallelism(session):
 
 
 def test_prepare_inputs_validates_tables_and_columns(session):
-    compiled = session.compile("select sum(amount) as s from orders",
-                               use_cache=False)
+    compiled = session.compile("select sum(amount) as s from orders", options=ExecutionOptions(use_cache=False))
     with pytest.raises(CatalogError, match="'orders'"):
         compiled.executor.prepare_inputs({})
     # Case-insensitive table matching, like the session catalog.

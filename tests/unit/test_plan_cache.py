@@ -5,6 +5,7 @@ import pytest
 
 from repro import DataFrame, TQPSession
 from repro.core.plan_cache import PlanCache, normalize_sql
+from repro import ExecutionOptions
 
 SQL = ("select region, sum(amount) as total from sales "
        "where amount > 10 group by region order by total desc")
@@ -69,35 +70,35 @@ def test_plan_cache_rejects_bad_capacity():
 
 
 def test_repeated_compile_hits_cache_and_returns_same_object(session):
-    first = session.compile(SQL, backend="torchscript")
-    second = session.compile("  " + SQL.upper() + " ; ", backend="torchscript")
+    first = session.compile(SQL, options=ExecutionOptions(backend="torchscript"))
+    second = session.compile("  " + SQL.upper() + " ; ", options=ExecutionOptions(backend="torchscript"))
     assert second is first
     stats = session.plan_cache.stats()
     assert stats["hits"] == 1 and stats["misses"] == 1
 
 
 def test_cache_hit_skips_trace_compilation(session):
-    compiled = session.compile(SQL, backend="torchscript")
+    compiled = session.compile(SQL, options=ExecutionOptions(backend="torchscript"))
     compiled.run()
     assert compiled.executor.compile_count == 1
-    again = session.compile(SQL, backend="torchscript")
+    again = session.compile(SQL, options=ExecutionOptions(backend="torchscript"))
     again.run()
     assert again.executor is compiled.executor
     assert again.executor.compile_count == 1   # trace was not redone
 
 
 def test_backend_and_device_are_part_of_the_key(session):
-    a = session.compile(SQL, backend="torchscript", device="cpu")
-    b = session.compile(SQL, backend="torchscript", device="cuda")
-    c = session.compile(SQL, backend="pytorch", device="cpu")
-    d = session.compile(SQL, backend="torchscript", device="cpu", optimize=False)
+    a = session.compile(SQL, options=ExecutionOptions(backend="torchscript", device="cpu"))
+    b = session.compile(SQL, options=ExecutionOptions(backend="torchscript", device="cuda"))
+    c = session.compile(SQL, options=ExecutionOptions(backend="pytorch", device="cpu"))
+    d = session.compile(SQL, options=ExecutionOptions(backend="torchscript", device="cpu", optimize=False))
     assert len({id(a), id(b), id(c), id(d)}) == 4
     assert session.plan_cache.stats()["hits"] == 0
 
 
 def test_use_cache_false_bypasses_the_cache(session):
-    a = session.compile(SQL, use_cache=False)
-    b = session.compile(SQL, use_cache=False)
+    a = session.compile(SQL, options=ExecutionOptions(use_cache=False))
+    b = session.compile(SQL, options=ExecutionOptions(use_cache=False))
     assert a is not b
     assert session.plan_cache.stats()["misses"] == 0
 

@@ -129,8 +129,8 @@ ENCODED_QUERIES = [
 def test_encoded_execution_matches_plain(frames_match, sql, backend):
     encoded = make_session(encoding="auto")
     plain = make_session(encoding="off")
-    frames_match(encoded.sql(sql, backend=backend),
-                 plain.sql(sql, backend=backend), f"{sql} [{backend}]")
+    frames_match(encoded.sql(sql, options=ExecutionOptions(backend=backend)),
+                 plain.sql(sql, options=ExecutionOptions(backend=backend)), f"{sql} [{backend}]")
 
 
 def test_session_conversion_actually_encodes():
@@ -185,7 +185,7 @@ def test_reregister_with_different_dtype_bumps_version():
     eligibility) must invalidate cached plans and converted columns."""
     session = make_session()
     sql = "select k, tag from t where tag = 'alpha' order by k"
-    first = session.compile(sql, backend="torchscript")
+    first = session.compile(sql, options=ExecutionOptions(backend="torchscript"))
     result_first = first.run()
     assert result_first.num_rows > 0
 
@@ -200,7 +200,7 @@ def test_reregister_with_different_dtype_bumps_version():
         "note": np.array(["x"] * n, dtype=object),
     })
     session.register("t", frame)
-    second = session.compile(sql, backend="torchscript")
+    second = session.compile(sql, options=ExecutionOptions(backend="torchscript"))
     assert second is not first, "stale plan served after re-registration"
     assert second.run().num_rows == 0
     converted = session.prepare_inputs(second.executor)["t"]

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""CI lint: both graph executors consume the one shared op registry.
+
+The interpreter (:mod:`repro.tensor.interpreter`) and the codegen executor
+(:mod:`repro.tensor.codegen`) must agree exactly on every op, which they do
+by construction *only* as long as neither implements or special-cases an op
+privately — all per-op knowledge has to live in
+:mod:`repro.tensor.op_semantics` / :data:`repro.tensor.ops.OP_REGISTRY`.
+This script asserts that invariant statically and fails the build when it
+rots:
+
+1. every registered op is reported executable for *both* executors by the
+   shared ``op_semantics.op_unsupported_reason`` predicate;
+2. neither executor module registers ops of its own (no ``register_op``);
+3. neither executor module hard-codes a registry op name as a string
+   constant — dispatch must stay name-generic.  The two shared sentinels
+   (``to_device`` transfers, ``fused_kernel``) are exempt because their
+   special-case rules are themselves defined in ``op_semantics``;
+4. both executor modules import ``op_semantics``.
+
+Run from the repository root: ``python tools/lint_op_registry.py``
+(``PYTHONPATH=src``, as in CI).
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.tensor import op_semantics, ops  # noqa: E402
+
+EXECUTOR_MODULES = (
+    REPO_ROOT / "src" / "repro" / "tensor" / "interpreter.py",
+    REPO_ROOT / "src" / "repro" / "tensor" / "codegen.py",
+)
+
+#: Op names whose special-case handling is allowed to appear by name in the
+#: executors: their rules (transfer forwarding, fused-step unrolling) are
+#: defined once in op_semantics and the executors merely reference them.
+SHARED_SENTINELS = {op_semantics.TRANSFER_OP, op_semantics.FUSED_OP}
+
+
+def check_registry_coverage(problems: list[str]) -> None:
+    for op in sorted(ops.OP_REGISTRY):
+        reason = op_semantics.op_unsupported_reason(op)
+        if reason is not None:
+            problems.append(
+                f"op {op!r} is registered but not executable by both "
+                f"executors: {reason}")
+
+
+def check_module(path: pathlib.Path, problems: list[str]) -> None:
+    rel = path.relative_to(REPO_ROOT)
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(rel))
+
+    imports = {
+        alias.name
+        for node in ast.walk(tree)
+        if isinstance(node, ast.ImportFrom) and node.module
+        for alias in node.names
+    }
+    if "op_semantics" not in imports:
+        problems.append(f"{rel}: does not import op_semantics — per-op "
+                        f"semantics must come from the shared module")
+
+    names = {
+        node.id if isinstance(node, ast.Name) else node.attr
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.Name, ast.Attribute))
+    }
+    if "register_op" in names:
+        problems.append(f"{rel}: references register_op — executors must "
+                        f"not define ops of their own")
+
+    registry_names = set(ops.OP_REGISTRY) - SHARED_SENTINELS
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Constant) and isinstance(node.value, str)
+                and node.value in registry_names):
+            problems.append(
+                f"{rel}:{node.lineno}: hard-coded op name {node.value!r} — "
+                f"per-op special cases belong in op_semantics / the registry")
+
+
+def main() -> int:
+    problems: list[str] = []
+    check_registry_coverage(problems)
+    for path in EXECUTOR_MODULES:
+        check_module(path, problems)
+    if problems:
+        print("op-registry lint FAILED:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(f"op-registry lint OK: {len(ops.OP_REGISTRY)} ops shared by "
+          f"{len(EXECUTOR_MODULES)} executors, none implemented privately")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
