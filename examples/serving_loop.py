@@ -1,50 +1,81 @@
-"""Serving loop: prepare a parameterized query once, bind it per request.
+"""Serving loop: many concurrent clients multiplexed over one session.
 
-This is the shape of the ROADMAP's serving target — one statement, millions
-of requests that differ only in their constants.  The statement is compiled
-(and traced) exactly once; each request binds new values which the traced
-tensor program consumes as runtime inputs.
+This is the ROADMAP's serving target one step further than prepare/bind:
+several logical clients submit Zipfian-skewed request streams to a shared
+:class:`repro.serve.ServingRuntime`, which routes every request through the
+session's statement cache, executes on a bounded worker pool, and stacks
+concurrent bindings of the same prepared statement into single batched
+replays of the traced program.
 
 Run with:  PYTHONPATH=src python examples/serving_loop.py
 """
 
+import threading
+
 from repro import ExecutionOptions, TQPSession
 from repro.datasets import tpch
+from repro.serve import (
+    ServingRuntime,
+    build_shapes,
+    register_prediction_model,
+    zipfian_workload,
+)
+
+SCALE_FACTOR = 0.001
+NUM_CLIENTS = 6
+REQUESTS_PER_CLIENT = 40
+
+
+def client(client_id: int, runtime: ServingRuntime, statements: dict,
+           outcomes: list) -> None:
+    """One logical client: submit a personal request stream, await results."""
+    shapes = build_shapes(SCALE_FACTOR, tail_queries=4)
+    stream = zipfian_workload(shapes, REQUESTS_PER_CLIENT,
+                              seed=1000 + client_id, s=1.3)
+    tickets = [(request, runtime.submit(statements[request.shape.name],
+                                        params=request.params))
+               for request in stream]
+    for request, ticket in tickets:
+        result = ticket.result(timeout=120)
+        outcomes.append((client_id, request.shape.name, result))
 
 
 def main() -> None:
     session = TQPSession()
-    for name, frame in tpch.generate_tables(scale_factor=0.01).items():
+    for name, frame in tpch.generate_tables(scale_factor=SCALE_FACTOR).items():
         session.register(name, frame)
+    register_prediction_model(session)
 
-    query = session.prepare(
-        """
-        select sum(l_extendedprice * l_discount) as revenue
-        from lineitem
-        where l_shipdate >= :start
-          and l_shipdate < :stop
-          and l_discount between :lo and :hi
-          and l_quantity < :q
-        """,
-        options=ExecutionOptions(backend="torchscript", device="cpu"),
-    )
-    print("parameters:", ", ".join(str(spec) for spec in query.parameters))
+    options = ExecutionOptions(backend="torchscript", device="cpu")
+    with ServingRuntime(session, workers=4, max_queue_depth=512,
+                        batch_window=32, default_options=options) as runtime:
+        # All clients share one statement cache: preparing the same SQL from
+        # different clients returns handles to the same compiled artifact.
+        statements = {shape.name: runtime.prepare(shape.sql, options=options)
+                      for shape in build_shapes(SCALE_FACTOR, tail_queries=4)}
 
-    # Simulated request stream: every "user" asks with their own constants.
-    requests = [
-        {"start": "1994-01-01", "stop": "1995-01-01",
-         "lo": 0.05, "hi": 0.07, "q": float(q)}
-        for q in range(1, 50)
-    ]
-    results = query.execute_many(requests)
+        outcomes: list = []
+        threads = [threading.Thread(target=client,
+                                    args=(i, runtime, statements, outcomes))
+                   for i in range(NUM_CLIENTS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
 
-    for request, result in list(zip(requests, results))[:5]:
-        revenue = result.to_dataframe().to_dict()["revenue"][0]
-        print(f"q < {request['q']:>4}: revenue = {revenue}")
+        total = NUM_CLIENTS * REQUESTS_PER_CLIENT
+        print(f"{NUM_CLIENTS} clients x {REQUESTS_PER_CLIENT} requests "
+              f"= {total} served")
+        client_id, shape_name, result = outcomes[0]
+        print(f"sample: client {client_id}, shape {shape_name!r} -> "
+              f"{list(result.to_dataframe().rows())[:1]}")
 
-    compiles = query.compiled.executor.compile_count
-    print(f"\n{len(results)} requests served by {compiles} trace compilation")
-    print("plan cache:", session.plan_cache.stats())
+        stats = runtime.stats()
+        print(f"runtime: {stats['completed']} completed, "
+              f"{stats['batches']} batched replays covering "
+              f"{stats['batched_requests']} requests "
+              f"({stats['deduped_requests']} shared an identical binding)")
+        print("plan cache:", session.plan_cache.stats())
 
 
 if __name__ == "__main__":

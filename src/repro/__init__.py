@@ -11,6 +11,10 @@ Public entry points:
   wasm, the latter two simulated).  ``session.prepare(sql)`` returns a
   :class:`repro.PreparedQuery` for compile-once/bind-many serving.
 * :class:`repro.ExecutionOptions` — every compile/execute knob in one object.
+* :class:`repro.serve.ServingRuntime` — multiplex many concurrent clients
+  over one shared session: bounded worker pool, admission control, and
+  inter-query bind batching (also exported here as
+  :class:`repro.ServingRuntime`).
 * :mod:`repro.tensor` — the mini tensor runtime (PyTorch stand-in).
 * :mod:`repro.datasets` — TPC-H dbgen, synthetic Amazon reviews, Iris.
 * :mod:`repro.ml` — from-scratch ML models and the Hummingbird-like compiler
@@ -22,8 +26,10 @@ from repro.core.options import ExecutionOptions
 from repro.core.parameters import ParameterSpec
 from repro.core.session import BoundQuery, CompiledQuery, PreparedQuery, TQPSession
 from repro.dataframe import DataFrame
+from repro.serve import ServingRuntime, ServingStatement, ServingTicket
 
 __version__ = "0.2.0"
 
 __all__ = ["BoundQuery", "CompiledQuery", "DataFrame", "ExecutionOptions",
-           "ParameterSpec", "PreparedQuery", "TQPSession", "__version__"]
+           "ParameterSpec", "PreparedQuery", "ServingRuntime",
+           "ServingStatement", "ServingTicket", "TQPSession", "__version__"]

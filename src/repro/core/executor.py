@@ -18,6 +18,7 @@ from their documented cost models (see ``repro.backends``).
 from __future__ import annotations
 
 import dataclasses
+import threading
 import time
 from typing import Callable, Optional
 
@@ -34,7 +35,7 @@ from repro.core.parameters import (
 )
 from repro.core.planner import OperatorPlan
 from repro.dataframe import DataFrame
-from repro.errors import CatalogError, ExecutionError
+from repro.errors import BatchBindingError, BindingError, CatalogError, ExecutionError
 from repro.tensor import Graph, Profiler, ScriptedProgram, Tensor, onnxlike, passes, tracing
 from repro.tensor.device import Device, parse_device
 
@@ -109,6 +110,11 @@ class Executor:
         self._program: Optional[ScriptedProgram] = None
         self._program_layout: Optional[list] = None
         self._input_layout: Optional[list[tuple[str, str]]] = None
+        # Serializes trace compilation: concurrent first executions of a
+        # shared plan must produce exactly one traced program, never a torn
+        # (_program, _program_layout, _input_layout) triple from two
+        # interleaved traces.
+        self._compile_lock = threading.Lock()
         if self.device.kind == "wasm" and self.backend.name != "onnx":
             raise ExecutionError(
                 "the wasm device requires the 'onnx' backend (browser execution "
@@ -181,26 +187,31 @@ class Executor:
                 for name, convert in self._param_converters}
 
     def execute(self, inputs: dict[str, TensorTable], profile: bool = False,
-                params: Optional[dict] = None) -> ExecutionResult:
+                params: Optional[dict] = None,
+                scan_stats: Optional[dict] = None) -> ExecutionResult:
         """Run the query over prepared inputs and return the result.
 
         ``params`` binds the plan's parameters (validated up front with typed
         errors); on the graph backends the values are runtime inputs of the
         traced program, so executing with a new binding never re-traces.
+        ``scan_stats`` optionally overrides the executor's stored zone maps
+        for this execution only — sessions pass a snapshot taken atomically
+        with ``inputs``, so a concurrent re-registration can never pair fresh
+        statistics with stale converted columns (or vice versa).
         """
         bound = self.bind(params)
-        if self.backend.strategy == "graph" and self._program is None:
+        if self.backend.strategy == "graph":
             # Trace before entering the profiled region: the eager tracing
             # run dispatches every op once, and folding those events into the
             # run's profile would make the simulated devices charge each
             # kernel and transfer twice on a one-shot execution.
-            self.compile_program(inputs, params=bound)
+            self._ensure_program(inputs, bound, scan_stats=scan_stats)
         want_profile = profile or self.device.is_simulated
         profiler = Profiler(name=f"{self.backend.name}-{self.device}") if want_profile else None
 
         if self.backend.strategy == "eager":
             def run(tables: dict[str, TensorTable]) -> TensorTable:
-                return self._run_eager(tables, bound)
+                return self._run_eager(tables, bound, scan_stats=scan_stats)
         else:
             def run(tables: dict[str, TensorTable]) -> TensorTable:
                 return self._run_graph(tables, bound)
@@ -232,7 +243,8 @@ class Executor:
     # -- eager (PyTorch-like) path ----------------------------------------------
 
     def _execution_context(self, inputs: dict[str, TensorTable],
-                           param_values: Optional[dict[str, ExprValue]] = None
+                           param_values: Optional[dict[str, ExprValue]] = None,
+                           scan_stats: Optional[dict] = None
                            ) -> ExecutionContext:
         moved = {alias: table.to(self.device) for alias, table in inputs.items()}
         params = {}
@@ -244,7 +256,8 @@ class Executor:
                                      value.valid)
         ctx = ExecutionContext(moved, device=self.device,
                                parallelism=self.parallelism,
-                               zone_maps=self.scan_stats)
+                               zone_maps=(scan_stats if scan_stats is not None
+                                          else self.scan_stats))
         ctx.eval_ctx = EvaluationContext(
             device=self.device,
             subquery_runner=lambda subplan: subplan.execute(ctx),
@@ -254,8 +267,10 @@ class Executor:
         return ctx
 
     def _run_eager(self, inputs: dict[str, TensorTable],
-                   bound: Optional[dict] = None) -> TensorTable:
-        ctx = self._execution_context(inputs, self._param_values(bound or {}))
+                   bound: Optional[dict] = None,
+                   scan_stats: Optional[dict] = None) -> TensorTable:
+        ctx = self._execution_context(inputs, self._param_values(bound or {}),
+                                      scan_stats=scan_stats)
         return self.plan.root.execute(ctx)
 
     # -- traced (TorchScript / ONNX-like) path ------------------------------------
@@ -302,8 +317,27 @@ class Executor:
                 tensor, ref_column.ltype, encoding=encoding)
         return {alias: TensorTable(columns) for alias, columns in rebuilt.items()}
 
+    def _ensure_program(self, inputs: dict[str, TensorTable],
+                        bound: Optional[dict] = None,
+                        scan_stats: Optional[dict] = None) -> ScriptedProgram:
+        """The traced program, compiling it exactly once under concurrency.
+
+        Concurrent first executions of a shared plan all race to trace; the
+        double-checked lock makes one of them compile while the others wait
+        and then replay the same program (``compile_count`` stays 1).
+        """
+        program = self._program
+        if program is None:
+            with self._compile_lock:
+                program = self._program
+                if program is None:
+                    program = self._compile_locked(inputs, bound or {},
+                                                   scan_stats=scan_stats)
+        return program
+
     def compile_program(self, inputs: dict[str, TensorTable],
-                        params: Optional[dict] = None) -> ScriptedProgram:
+                        params: Optional[dict] = None,
+                        scan_stats: Optional[dict] = None) -> ScriptedProgram:
         """Trace the whole query into a tensor graph for the graph backends.
 
         Like ``torch.jit.trace``, data-dependent sizes observed during tracing
@@ -313,8 +347,19 @@ class Executor:
         (``param:<name>``): executing the program with a different binding
         feeds new scalar tensors to the same trace — this is the
         compile-once/bind-many contract of the prepared-statement API.
+
+        Calling this directly always re-traces (that is the documented remedy
+        after an input-layout change); compilation is serialized per executor
+        so a concurrent caller can never observe a torn program/layout pair.
         """
         bound = self.bind(params)
+        with self._compile_lock:
+            return self._compile_locked(bound=bound, inputs=inputs,
+                                        scan_stats=scan_stats)
+
+    def _compile_locked(self, inputs: dict[str, TensorTable],
+                        bound: dict,
+                        scan_stats: Optional[dict] = None) -> ScriptedProgram:
         example_tensors, layout = self._flatten_inputs(inputs)
         param_specs = list(self.params)
         param_exprs = self._param_values(bound)
@@ -332,7 +377,8 @@ class Executor:
                 for spec, tensor in zip(param_specs, tensors[len(layout):])
             }
             rebuilt = self._rebuild_inputs(table_tensors, layout, inputs)
-            ctx = self._execution_context(rebuilt, symbolic_params)
+            ctx = self._execution_context(rebuilt, symbolic_params,
+                                          scan_stats=scan_stats)
             # Output columns are decoded before flattening so the program's
             # outputs are always plain tensors, whatever the storage layout.
             result = self.plan.root.execute(ctx).decoded()
@@ -355,16 +401,18 @@ class Executor:
             graph = onnxlike.loads(onnxlike.dumps(graph))
         program = ScriptedProgram(graph, self.backend.per_node_overhead_s,
                                   executor=self.options.executor)
-        self._program = program
+        # Publish the layouts before the program: unlocked readers gate on
+        # ``self._program``, so by the time they see it, the matching layouts
+        # are already in place.
         self._program_layout = list(output_columns)
         self._input_layout = layout
+        self._program = program
         return program
 
     def _run_graph(self, inputs: dict[str, TensorTable],
                    bound: Optional[dict] = None) -> TensorTable:
         bound = bound if bound is not None else self.bind(None)
-        if self._program is None:
-            self.compile_program(inputs, params=bound)
+        self._ensure_program(inputs, bound)
         tensors, layout = self._flatten_inputs(inputs)
         if layout != self._input_layout:
             raise ExecutionError(
@@ -390,9 +438,41 @@ class Executor:
             columns[name] = TensorColumn(tensor, ltype, valid)
         return TensorTable(columns)
 
+    def _bind_batch(self, param_batches: "list[dict]", on_error: str
+                    ) -> "list[dict | BatchBindingError]":
+        """Validate every binding of a batch, attributing failures by index.
+
+        A bad binding becomes a :class:`~repro.errors.BatchBindingError`
+        carrying the 0-based request index.  With ``on_error="raise"`` the
+        first one is raised before anything executes; with
+        ``on_error="collect"`` it takes the failed request's slot and the
+        remaining bindings stay usable — a mid-batch failure can never poison
+        the cached program, the converters, or its neighbours.
+        """
+        if on_error not in ("raise", "collect"):
+            raise ValueError(
+                f"on_error must be 'raise' or 'collect', got {on_error!r}")
+        bound_list: "list[dict | BatchBindingError]" = []
+        for index, batch in enumerate(param_batches):
+            try:
+                if isinstance(batch, BatchBindingError):
+                    # Pre-attributed failure (e.g. a positional binding of the
+                    # wrong arity, caught by the prepared-statement layer).
+                    raise batch.cause
+                bound_list.append(self.bind(batch))
+            except BindingError as exc:
+                error = BatchBindingError(index, exc)
+                if on_error == "raise":
+                    raise error from exc
+                bound_list.append(error)
+        return bound_list
+
     def execute_many(self, inputs: dict[str, TensorTable],
                      param_batches: "list[dict]",
-                     profile: bool = False) -> list[ExecutionResult]:
+                     profile: bool = False,
+                     on_error: str = "raise",
+                     scan_stats: Optional[dict] = None
+                     ) -> "list[ExecutionResult | BatchBindingError]":
         """Serving loop: run many parameter bindings over one input set.
 
         All bindings are validated up front, then each one runs against the
@@ -405,17 +485,38 @@ class Executor:
         ``benchmarks/bench_compiled_executor.py`` measures.  Semantics
         (validation, profiling, reported times) match calling :meth:`execute`
         once per binding either way.
+
+        A bad binding raises a typed :class:`~repro.errors.BatchBindingError`
+        naming the request index (``on_error="raise"``, nothing executes), or
+        — under ``on_error="collect"``, the serving runtime's mode — fails
+        only that request: its result slot holds the error object while every
+        other binding still executes.
         """
+        bound_list = self._bind_batch(param_batches, on_error)
+        errors = {i: b for i, b in enumerate(bound_list)
+                  if isinstance(b, BatchBindingError)}
+        valid = [(i, b) for i, b in enumerate(bound_list) if i not in errors]
+
+        def weave(results: list) -> list:
+            slots: list = [None] * len(bound_list)
+            for index, error in errors.items():
+                slots[index] = error
+            for (index, _), result in zip(valid, results):
+                slots[index] = result
+            return slots
+
+        if not valid:
+            return weave([])
         if self.backend.strategy != "graph":
-            return [self.execute(inputs, profile=profile, params=batch)
-                    for batch in param_batches]
-        bound_list = [self.bind(batch) for batch in param_batches]
-        if self._program is None:
-            self.compile_program(inputs,
-                                 params=bound_list[0] if bound_list else None)
+            return weave([self.execute(inputs, profile=profile, params=bound,
+                                       scan_stats=scan_stats)
+                          for _, bound in valid])
+        self._ensure_program(inputs, valid[0][1], scan_stats=scan_stats)
         if not self._program.uses_codegen:
-            return [self.execute(inputs, profile=profile, params=bound)
-                    for bound in bound_list]
+            return weave([self.execute(inputs, profile=profile, params=bound,
+                                       scan_stats=scan_stats)
+                          for _, bound in valid])
+        valid_bindings = [bound for _, bound in valid]
         tensors, layout = self._flatten_inputs(inputs)
         if layout != self._input_layout:
             raise ExecutionError(
@@ -440,7 +541,7 @@ class Executor:
             array_converters = [(spec.name, param_array_converter(spec))
                                 for spec in self.params]
         results: list[ExecutionResult] = []
-        for bound in bound_list:
+        for bound in valid_bindings:
             profiler = (Profiler(name=f"{backend_name}-{device}")
                         if want_profile else None)
             if profiler is not None:
@@ -464,16 +565,14 @@ class Executor:
                 reported_s=reported, backend=backend_name,
                 device=device_str, profile=profiler, pruning=pruning,
                 executor_mode="compiled"))
-        return results
+        return weave(results)
 
     # -- artifacts ------------------------------------------------------------------
 
     def executor_graph(self, inputs: dict[str, TensorTable],
                        params: Optional[dict] = None) -> Graph:
         """The traced tensor graph of this query (the Figure-4 artifact)."""
-        if self._program is None:
-            self.compile_program(inputs, params=params)
-        return self._program.graph
+        return self._ensure_program(inputs, self.bind(params)).graph
 
     def export_onnx(self, inputs: dict[str, TensorTable], path: str,
                     params: Optional[dict] = None) -> None:

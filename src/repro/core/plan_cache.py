@@ -85,6 +85,10 @@ class PlanCache:
         self.capacity = capacity
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
         self._lock = threading.Lock()
+        #: In-flight compilations by key (see :meth:`get_or_create`): the
+        #: first miss installs an event, concurrent misses for the same key
+        #: wait on it instead of compiling the same statement twice.
+        self._building: dict[Hashable, threading.Event] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -122,6 +126,55 @@ class PlanCache:
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.evictions += 1
+
+    def get_or_create(self, key: Hashable, factory: Callable[[], Any],
+                      validate: Callable[[Any], bool] | None = None) -> Any:
+        """Return the cached entry for ``key``, building it at most once.
+
+        Under concurrent serving traffic many clients miss on the same cold
+        statement at once; without coordination each of them would compile
+        (and later trace) its own copy, and the last ``put`` would win — the
+        classic check-then-insert interleaving.  The first caller to miss
+        installs an in-flight marker and runs ``factory``; concurrent callers
+        for the *same* key block until it finishes and then share the one
+        compiled entry.  Different keys build concurrently, and ``factory``
+        runs outside the cache lock, so compilation never blocks lookups.
+
+        If ``factory`` raises, waiters fall back to building their own entry
+        (the error is not cached).
+        """
+        entry = self.get(key, validate=validate)
+        if entry is not None:
+            return entry
+        while True:
+            with self._lock:
+                existing = self._entries.get(key)
+                if existing is not None and (validate is None
+                                             or validate(existing)):
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    return existing
+                marker = self._building.get(key)
+                if marker is None:
+                    marker = self._building[key] = threading.Event()
+                    building = True
+                else:
+                    building = False
+            if building:
+                try:
+                    value = factory()
+                    self.put(key, value)
+                    return value
+                finally:
+                    with self._lock:
+                        self._building.pop(key, None)
+                    marker.set()
+            marker.wait()
+            entry = self.get(key, validate=validate)
+            if entry is not None:
+                return entry
+            # The builder failed (or its entry was immediately invalidated);
+            # loop and try to become the builder ourselves.
 
     def remove_if(self, predicate: Callable[[Any], bool]) -> int:
         """Drop every entry whose value matches ``predicate``; return count."""

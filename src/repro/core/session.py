@@ -51,6 +51,7 @@ Switching hardware or software backend remains a one-line change
 from __future__ import annotations
 
 import dataclasses
+import threading
 from typing import Any, Callable, Iterable, Optional, Sequence
 
 from repro.backends import BACKENDS
@@ -67,7 +68,12 @@ from repro.core.parameters import (
 from repro.core.plan_cache import PlanCache, normalize_sql
 from repro.core.planner import OperatorPlan, plan_ir
 from repro.dataframe import DataFrame
-from repro.errors import BindingError, CatalogError, ExecutionError
+from repro.errors import (
+    BatchBindingError,
+    BindingError,
+    CatalogError,
+    ExecutionError,
+)
 from repro.frontend import Catalog, sql_to_physical
 from repro.frontend.physical import PhysicalNode
 from repro.tensor.device import Device, parse_device
@@ -89,6 +95,9 @@ class CompiledQuery:
     schema_fingerprint: Optional[tuple] = None
     #: The fully resolved options this query was compiled under.
     options: ExecutionOptions = dataclasses.field(default_factory=ExecutionOptions)
+    #: Parameter-type hints the statement was compiled with (needed to
+    #: re-plan faithfully when a held handle refreshes after a re-register).
+    param_types: Optional[dict] = None
 
     @property
     def params(self) -> list[ParameterSpec]:
@@ -100,16 +109,36 @@ class CompiledQuery:
         """ML models referenced by ``PREDICT`` calls in this plan."""
         return self.operator_plan.model_names
 
-    def _prepare_execution(self) -> dict:
-        """Fresh inputs *and* fresh scan statistics for this execution.
+    def _refresh_from(self, fresh: "CompiledQuery") -> None:
+        """Adopt a freshly compiled generation of this statement in place.
 
-        Both are re-resolved from the session per execution so a long-lived
-        CompiledQuery held across a ``register()`` of new data never prunes
-        against stale zone maps — the statistics always describe the same
-        table version the converted inputs come from.
+        Held handles (PreparedQuery, a serving runtime's statements) keep
+        *this* object's identity; after a ``register()`` of new data the
+        session rebuilds the plan and swaps the artifacts here, under the
+        session lock, so the handle transparently follows the new table
+        generation instead of replaying a traced program whose baked-in
+        shapes (including pruning decisions) describe data that no longer
+        exists.
         """
-        self.executor.scan_stats = self.session.scan_statistics(self.operator_plan)
-        return self.session.prepare_inputs(self.executor)
+        self.physical_plan = fresh.physical_plan
+        self.ir = fresh.ir
+        self.operator_plan = fresh.operator_plan
+        self.executor = fresh.executor
+        self.schema_fingerprint = fresh.schema_fingerprint
+
+    def _prepare_execution(self) -> tuple[Executor, dict, dict]:
+        """Atomic per-execution snapshot: ``(executor, inputs, zone maps)``.
+
+        All three are re-resolved from the session per execution so a
+        long-lived CompiledQuery held across a ``register()`` of new data
+        never mixes table generations: the statistics always describe the
+        same table version the converted inputs come from, and the executor
+        (whose traced program bakes in data-dependent shapes) is rebuilt
+        when its generation went stale.  The triple is snapshotted atomically
+        under the session lock, so a concurrent re-registration can never
+        hand an in-flight request mixed-generation state.
+        """
+        return self.session.execution_state(self)
 
     def execute(self, profile: bool = False,
                 params: Optional[dict] = None) -> ExecutionResult:
@@ -119,8 +148,9 @@ class CompiledQuery:
         :class:`~repro.errors.BindingError`\\ s); re-executions with new
         bindings reuse the traced program.
         """
-        inputs = self._prepare_execution()
-        return self.executor.execute(inputs, profile=profile, params=params)
+        executor, inputs, stats = self._prepare_execution()
+        return executor.execute(inputs, profile=profile, params=params,
+                                scan_stats=stats)
 
     def run(self, params: Optional[dict] = None) -> DataFrame:
         """Execute and return the result as a DataFrame."""
@@ -140,12 +170,12 @@ class CompiledQuery:
 
     def executor_graph(self, params: Optional[dict] = None):
         """Traced tensor graph of the query (Figure-4 style artifact)."""
-        inputs = self._prepare_execution()
-        return self.executor.executor_graph(inputs, params=params)
+        executor, inputs, _ = self._prepare_execution()
+        return executor.executor_graph(inputs, params=params)
 
     def export_onnx(self, path: str, params: Optional[dict] = None) -> None:
-        inputs = self._prepare_execution()
-        self.executor.export_onnx(inputs, path, params=params)
+        executor, inputs, _ = self._prepare_execution()
+        executor.export_onnx(inputs, path, params=params)
 
 
 class BoundQuery:
@@ -208,8 +238,8 @@ class PreparedQuery:
         """Bind, execute, and return the result as a DataFrame."""
         return self.bind(*args, **kwargs).run()
 
-    def execute_many(self, param_batches: Iterable[dict | Sequence[Any]]
-                     ) -> list[ExecutionResult]:
+    def execute_many(self, param_batches: Iterable[dict | Sequence[Any]],
+                     on_error: str = "raise") -> list[ExecutionResult]:
         """Serving-loop entry point: execute one binding after another.
 
         Each batch item is either a dict (named parameters) or a sequence
@@ -217,15 +247,29 @@ class PreparedQuery:
         most once across the whole loop, the table inputs are converted and
         flattened once, and each binding then costs one call of the cached
         program (on the ``compiled`` executor, one generated-function call).
-        All bindings are validated up front, so a bad one fails before any
-        query runs.
+
+        All bindings are validated up front.  A bad one raises a typed
+        :class:`~repro.errors.BatchBindingError` carrying the request index
+        before any query runs (``on_error="raise"``), or — with
+        ``on_error="collect"`` — fails only its own slot (the error object
+        takes the failed request's place in the result list) while every
+        other binding still executes.
         """
         params = self.parameters
-        batches = [dict(batch) if isinstance(batch, dict)
-                   else positional_binding(params, tuple(batch))
-                   for batch in param_batches]
-        inputs = self.compiled._prepare_execution()
-        return self.compiled.executor.execute_many(inputs, batches)
+        batches: list = []
+        for index, batch in enumerate(param_batches):
+            if isinstance(batch, dict):
+                batches.append(dict(batch))
+                continue
+            try:
+                batches.append(positional_binding(params, tuple(batch)))
+            except BindingError as exc:
+                # Attribute the failure to its request index; the executor
+                # raises or collects it according to ``on_error``.
+                batches.append(BatchBindingError(index, exc))
+        executor, inputs, stats = self.compiled._prepare_execution()
+        return executor.execute_many(inputs, batches, on_error=on_error,
+                                     scan_stats=stats)
 
     def explain(self) -> str:
         return self.compiled.explain()
@@ -272,24 +316,39 @@ class TQPSession:
         #: Compiled-plan LRU: repeated queries skip parse→optimize→plan→trace.
         self.plan_cache = PlanCache(capacity=plan_cache_size)
         self._table_versions: dict[str, int] = {}
+        #: Guards the mutable session state (catalog, dataframes, models,
+        #: conversion cache, table versions) against concurrent serving
+        #: workers.  Re-entrant so locked entry points may call each other.
+        #: Lock ordering is session lock → plan-cache lock, never the
+        #: reverse: ``_plan_is_current`` runs under the cache lock and must
+        #: therefore stay lock-free (its dict reads are GIL-atomic).
+        self._lock = threading.RLock()
 
     # -- data & model registration ------------------------------------------
 
     def register(self, name: str, frame: DataFrame) -> None:
-        """Register a DataFrame as a queryable table."""
-        self.catalog.register(name, frame)
-        key = name.lower()
-        self._dataframes[key] = frame
-        stale = [k for k in self._conversion_cache if k[0] == key]
-        for k in stale:
-            del self._conversion_cache[k]
-        # Traced programs bake data-dependent sizes in, so (re)registering a
-        # table must drop every cached plan that scans it; bumping the table
-        # version also changes the schema fingerprint (and the conversion
-        # cache key) for future lookups.
-        self._table_versions[key] = self._table_versions.get(key, 0) + 1
-        self.plan_cache.remove_if(
-            lambda q: any(scan.table.lower() == key for scan in q.operator_plan.scans))
+        """Register a DataFrame as a queryable table.
+
+        Safe to call while other threads are serving queries: in-flight
+        executions keep the snapshot they took at admission (see
+        :meth:`execution_state`), and every later execution sees the new
+        data, never a mix of generations.
+        """
+        with self._lock:
+            self.catalog.register(name, frame)
+            key = name.lower()
+            self._dataframes[key] = frame
+            stale = [k for k in self._conversion_cache if k[0] == key]
+            for k in stale:
+                del self._conversion_cache[k]
+            # Traced programs bake data-dependent sizes in, so (re)registering
+            # a table must drop every cached plan that scans it; bumping the
+            # table version also changes the schema fingerprint (and the
+            # conversion cache key) for future lookups.
+            self._table_versions[key] = self._table_versions.get(key, 0) + 1
+            self.plan_cache.remove_if(
+                lambda q: any(scan.table.lower() == key
+                              for scan in q.operator_plan.scans))
 
     def register_model(self, name: str, model) -> None:
         """Register an ML model for use with ``PREDICT('name', cols...)``.
@@ -305,22 +364,25 @@ class TQPSession:
         from repro.ml import compile_model
 
         if callable(model) and not hasattr(model, "predict_tensor"):
-            self._models[name] = model
+            compiled_model = model
         else:
-            self._models[name] = compile_model(model)
-        # Compiled executors captured the model table at compile time; drop
-        # exactly the plans that embed this model.
-        self.plan_cache.remove_if(
-            lambda q: name in q.operator_plan.model_names)
+            compiled_model = compile_model(model)
+        with self._lock:
+            self._models[name] = compiled_model
+            # Compiled executors captured the model table at compile time;
+            # drop exactly the plans that embed this model.
+            self.plan_cache.remove_if(
+                lambda q: name in q.operator_plan.model_names)
 
     def table_names(self) -> list[str]:
         return self.catalog.table_names()
 
     def dataframe(self, name: str) -> DataFrame:
-        key = name.lower()
-        if key not in self._dataframes:
-            raise CatalogError(f"unknown table: {name!r}")
-        return self._dataframes[key]
+        with self._lock:
+            key = name.lower()
+            if key not in self._dataframes:
+                raise CatalogError(f"unknown table: {name!r}")
+            return self._dataframes[key]
 
     # -- compilation -------------------------------------------------------------
 
@@ -373,36 +435,49 @@ class TQPSession:
         statement — normalized SQL with markers, plus the options — so one
         cache entry serves every binding.  A hit returns the *same*
         :class:`CompiledQuery` and skips parse→optimize→plan→trace.
+        Concurrent misses on one cold statement are single-flighted
+        (:meth:`PlanCache.get_or_create`): the first caller compiles, the
+        rest wait and share the entry.
         """
         resolved = self._resolve_options(options)
-        cache_key = None
         if resolved.use_cache:
             hint_key = tuple(sorted(
                 (name, ltype.value) for name, ltype in (param_types or {}).items()))
             cache_key = (normalize_sql(sql), resolved.cache_key(), hint_key)
-            cached = self.plan_cache.get(cache_key, validate=self._plan_is_current)
-            if cached is not None:
-                return cached
-        physical = sql_to_physical(sql, self.catalog, optimized=resolved.optimize,
-                                   param_types=param_types)
-        query_ir = ir_optimizer.optimize_ir(ir_builder.build_ir(physical))
-        operator_plan = plan_ir(
-            query_ir, parallelism=resolved.parallelism,
-            table_rows={name: frame.num_rows
-                        for name, frame in self._dataframes.items()},
-            use_threads=self.parallel_mode == "threads",
-            table_stats={name: self.catalog.statistics(name)
-                         for name in self._dataframes})
-        executor = Executor(operator_plan, models=dict(self._models),
-                            options=resolved,
-                            scan_stats=self.scan_statistics(operator_plan))
-        compiled = CompiledQuery(sql=sql, physical_plan=physical, ir=query_ir,
-                                 operator_plan=operator_plan, executor=executor,
-                                 session=self, options=resolved,
-                                 schema_fingerprint=self._scan_fingerprint(operator_plan))
-        if cache_key is not None:
-            self.plan_cache.put(cache_key, compiled)
-        return compiled
+            return self.plan_cache.get_or_create(
+                cache_key,
+                lambda: self._compile_uncached(sql, resolved, param_types),
+                validate=self._plan_is_current)
+        return self._compile_uncached(sql, resolved, param_types)
+
+    def _compile_uncached(self, sql: str, resolved: ExecutionOptions,
+                          param_types: Optional[dict]) -> CompiledQuery:
+        """Run the full parse→analyze→optimize→plan pipeline.
+
+        Holds the session lock throughout so the catalog, table statistics
+        and model table the plan captures all describe one generation of the
+        session state, even while another thread is re-registering a table.
+        """
+        with self._lock:
+            physical = sql_to_physical(sql, self.catalog,
+                                       optimized=resolved.optimize,
+                                       param_types=param_types)
+            query_ir = ir_optimizer.optimize_ir(ir_builder.build_ir(physical))
+            operator_plan = plan_ir(
+                query_ir, parallelism=resolved.parallelism,
+                table_rows={name: frame.num_rows
+                            for name, frame in self._dataframes.items()},
+                use_threads=self.parallel_mode == "threads",
+                table_stats={name: self.catalog.statistics(name)
+                             for name in self._dataframes})
+            executor = Executor(operator_plan, models=dict(self._models),
+                                options=resolved,
+                                scan_stats=self.scan_statistics(operator_plan))
+            return CompiledQuery(
+                sql=sql, physical_plan=physical, ir=query_ir,
+                operator_plan=operator_plan, executor=executor,
+                session=self, options=resolved, param_types=param_types,
+                schema_fingerprint=self._scan_fingerprint(operator_plan))
 
     def prepare(self, sql: str, options: Optional[ExecutionOptions] = None,
                 param_types: Optional[dict] = None) -> PreparedQuery:
@@ -440,6 +515,31 @@ class TQPSession:
 
     # -- input preparation (data conversion phase) ----------------------------------
 
+    def execution_state(self, compiled: CompiledQuery
+                        ) -> tuple[Executor, dict[str, TensorTable], dict]:
+        """Atomic per-execution snapshot: ``(executor, inputs, zone maps)``.
+
+        All three are resolved under one hold of the session lock, so a
+        concurrent ``register()`` can never hand an in-flight request
+        mixed-generation state — new columns pruned against old zone maps, a
+        traced program whose baked-in pruning shapes describe the old data,
+        or any other cross-generation pairing.  Either the whole snapshot
+        predates the re-registration or the whole snapshot follows it.
+
+        When the handle's compile-time generation went stale (its cache
+        entry was already purged by :meth:`register`, but long-lived handles
+        keep their object), the statement is re-planned here and the handle
+        refreshed in place, so every held PreparedQuery keeps serving
+        current data.
+        """
+        with self._lock:
+            if not self._plan_is_current(compiled):
+                compiled._refresh_from(self._compile_uncached(
+                    compiled.sql, compiled.options, compiled.param_types))
+            executor = compiled.executor
+            return (executor, self.prepare_inputs(executor),
+                    self.scan_statistics(executor.plan))
+
     def scan_statistics(self, plan: OperatorPlan) -> dict[str, "object"]:
         """Storage statistics (zone maps) per scan alias of a plan.
 
@@ -448,12 +548,13 @@ class TQPSession:
         (registration recomputes them), matching the inputs
         :meth:`prepare_inputs` serves for the same plan.
         """
-        stats = {}
-        for scan in plan.scans:
-            table_stats = self.catalog.statistics(scan.table)
-            if table_stats is not None:
-                stats[scan.alias] = table_stats
-        return stats
+        with self._lock:
+            stats = {}
+            for scan in plan.scans:
+                table_stats = self.catalog.statistics(scan.table)
+                if table_stats is not None:
+                    stats[scan.alias] = table_stats
+            return stats
 
     def prepare_inputs(self, executor: Executor) -> dict[str, TensorTable]:
         """Convert registered DataFrames into tensor tables for an executor.
@@ -470,21 +571,23 @@ class TQPSession:
         """
         from repro.storage.encodings import encode_table
 
-        encoding_mode = executor.options.encoding
-        inputs: dict[str, TensorTable] = {}
-        for scan in executor.plan.scans:
-            table_key = scan.table.lower()
-            if table_key not in self._dataframes:
-                raise CatalogError(f"no registered table named {scan.table!r}")
-            cache_key = (table_key, tuple(f.name for f in scan.fields),
-                         self._table_versions.get(table_key, 0), encoding_mode)
-            if cache_key not in self._conversion_cache:
-                frame = self._dataframes[table_key]
-                stats = self.catalog.statistics(table_key)
-                ndv = ({name: column.ndv for name, column in stats.columns.items()}
-                       if stats is not None else None)
-                self._conversion_cache[cache_key] = TensorTable(
-                    encode_table(frame, scan.fields, mode=encoding_mode,
-                                 column_ndv=ndv))
-            inputs[scan.alias] = self._conversion_cache[cache_key]
-        return inputs
+        with self._lock:
+            encoding_mode = executor.options.encoding
+            inputs: dict[str, TensorTable] = {}
+            for scan in executor.plan.scans:
+                table_key = scan.table.lower()
+                if table_key not in self._dataframes:
+                    raise CatalogError(f"no registered table named {scan.table!r}")
+                cache_key = (table_key, tuple(f.name for f in scan.fields),
+                             self._table_versions.get(table_key, 0), encoding_mode)
+                if cache_key not in self._conversion_cache:
+                    frame = self._dataframes[table_key]
+                    stats = self.catalog.statistics(table_key)
+                    ndv = ({name: column.ndv
+                            for name, column in stats.columns.items()}
+                           if stats is not None else None)
+                    self._conversion_cache[cache_key] = TensorTable(
+                        encode_table(frame, scan.fields, mode=encoding_mode,
+                                     column_ndv=ndv))
+                inputs[scan.alias] = self._conversion_cache[cache_key]
+            return inputs

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 import os
 import shutil
+import threading
+import uuid
 from pathlib import Path
 
 from repro.dataframe import DataFrame, read_csv, write_csv
@@ -63,6 +65,57 @@ def cache_directory(scale_factor: float, seed: int,
     return Path(root) / f"sf{scale_factor:g}-seed{seed}"
 
 
+#: In-process build locks, one per cache directory: two threads of one
+#: process asking for the same cold dataset generate it once, not twice.
+#: (Cross-process coordination stays lock-free via the rename protocol.)
+_BUILD_LOCKS: dict[str, threading.Lock] = {}
+_BUILD_LOCKS_GUARD = threading.Lock()
+
+
+def _build_lock(directory: Path) -> threading.Lock:
+    key = str(directory)
+    with _BUILD_LOCKS_GUARD:
+        lock = _BUILD_LOCKS.get(key)
+        if lock is None:
+            lock = _BUILD_LOCKS[key] = threading.Lock()
+        return lock
+
+
+def _load_complete(directory: Path) -> dict[str, DataFrame] | None:
+    """The cached dataset, or ``None`` if absent, missing tables, or corrupt."""
+    if not directory.is_dir():
+        return None
+    try:
+        tables = load_tables(directory)
+    except OSError:
+        return None  # directory vanished mid-load (a writer reclaimed it)
+    except (ValueError, IndexError, KeyError):
+        return None  # truncated rows / unparsable fields: half-written cache
+    if set(tables) == set(schema.TABLE_COLUMNS):
+        return tables
+    return None
+
+
+def _discard_incomplete(directory: Path) -> None:
+    """Atomically claim and remove a half-written cache directory.
+
+    The directory is renamed to a unique trash name *before* deletion: the
+    rename either transfers exclusive ownership to us or fails because a
+    concurrent writer claimed it (or already published a fresh cache under
+    the name) — so two writers can never tear down the same tree, and a
+    just-published complete cache is never deleted out from under a reader.
+    """
+    if not directory.is_dir():
+        return
+    trash = directory.parent / (
+        f"{directory.name}.trash-{os.getpid()}-{uuid.uuid4().hex}")
+    try:
+        directory.rename(trash)
+    except OSError:
+        return  # lost the claim race: someone else is handling it
+    shutil.rmtree(trash, ignore_errors=True)
+
+
 def cached_tables(scale_factor: float = 0.01, seed: int = 19920101,
                   root: str | Path | None = None) -> dict[str, DataFrame]:
     """Generated TPC-H tables, round-tripped through an on-disk cache.
@@ -72,25 +125,40 @@ def cached_tables(scale_factor: float = 0.01, seed: int = 19920101,
     runs, CI jobs) load from disk instead of regenerating.  The loaded frames
     are exactly the saved ones (floats round-trip through ``repr``), and a
     partially written cache (missing tables) falls back to regeneration.
+
+    Concurrent callers are safe: each writer stages into its own
+    uniquely-named temp directory and publishes with an atomic rename, losing
+    the rename race just means returning the tables it already generated.  A
+    half-written cache left by a killed run is claimed via rename before
+    removal, so it is never served and never torn down by two writers at
+    once.
     """
     from repro.datasets.tpch.generator import generate_tables
 
     directory = cache_directory(scale_factor, seed, root)
     if directory is None:
         return generate_tables(scale_factor=scale_factor, seed=seed)
-    if directory.is_dir():
-        tables = load_tables(directory)
-        if set(tables) == set(schema.TABLE_COLUMNS):
+    tables = _load_complete(directory)
+    if tables is not None:
+        return tables
+    with _build_lock(directory):
+        # Re-check: another thread may have built while we waited.
+        tables = _load_complete(directory)
+        if tables is not None:
             return tables
-        shutil.rmtree(directory, ignore_errors=True)  # incomplete: rebuild
-    tables = generate_tables(scale_factor=scale_factor, seed=seed)
-    # Crash-safe publish: write into a temp sibling and rename into place, so
-    # a killed run can never leave a complete-looking but truncated cache for
-    # later runs (and concurrent writers race on the rename, not the files).
-    staging = directory.parent / f"{directory.name}.tmp-{os.getpid()}"
-    save_tables(tables, staging)
-    try:
-        staging.rename(directory)
-    except OSError:
-        shutil.rmtree(staging, ignore_errors=True)  # another writer won
+        _discard_incomplete(directory)
+        tables = generate_tables(scale_factor=scale_factor, seed=seed)
+        # Crash-safe publish: write into a uniquely-named temp sibling and
+        # rename into place, so a killed run can never leave a
+        # complete-looking but truncated cache, and concurrent writers race
+        # on the rename, not on the files.
+        staging = directory.parent / (
+            f"{directory.name}.tmp-{os.getpid()}-{uuid.uuid4().hex}")
+        save_tables(tables, staging)
+        try:
+            staging.rename(directory)
+        except OSError:
+            # Another writer (in a different process) published first; its
+            # cache is equivalent to ours — drop the staging copy.
+            shutil.rmtree(staging, ignore_errors=True)
     return tables

@@ -81,5 +81,47 @@ class BindingError(ExecutionError):
     """
 
 
+class BatchBindingError(BindingError):
+    """Raised when one binding inside an ``execute_many`` batch is invalid.
+
+    Carries the 0-based :attr:`index` of the offending request, so a serving
+    layer can fail exactly that request; the executor's cached program,
+    converters and the other bindings of the batch stay usable.
+    """
+
+    def __init__(self, index: int, cause: BindingError):
+        super().__init__(f"batch request {index}: {cause}")
+        #: 0-based position of the bad binding in the submitted batch.
+        self.index = index
+        #: The underlying :class:`BindingError`.
+        self.cause = cause
+
+
+class ServingError(ExecutionError):
+    """Base class for errors raised by the concurrent serving runtime."""
+
+
+class AdmissionError(ServingError):
+    """Raised when the serving runtime rejects a request at admission.
+
+    The runtime bounds its pending queue; once the bound is reached new
+    submissions fail fast with this error instead of queueing unboundedly.
+    """
+
+    def __init__(self, message: str, queue_depth: int | None = None):
+        super().__init__(message)
+        #: Pending-queue depth observed at rejection time.
+        self.queue_depth = queue_depth
+
+
+class RequestTimeoutError(ServingError):
+    """Raised when a serving request exceeded its timeout before completing.
+
+    A request that times out while still queued is never executed; one that
+    already started executing runs to completion, but waiting on its ticket
+    past the deadline raises this error.
+    """
+
+
 class ModelError(TQPError):
     """Raised by the ML model layer (unknown model, bad shapes, not fitted)."""

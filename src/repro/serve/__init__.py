@@ -1,0 +1,31 @@
+"""Concurrent serving runtime: many logical clients over one shared session.
+
+:class:`~repro.serve.runtime.ServingRuntime` multiplexes concurrent request
+streams over a :class:`~repro.core.session.TQPSession` — routing every
+request through the shared plan/statement cache, bounding the in-flight work
+with admission control, and stacking identical prepared statements from
+different clients into one batched replay of the compiled program.
+
+:mod:`repro.serve.simulator` generates the deterministic Zipfian traffic the
+serving benchmark and the concurrency test suite replay against it.
+"""
+
+from repro.serve.runtime import ServingRuntime, ServingStatement, ServingTicket
+from repro.serve.simulator import (
+    QueryShape,
+    SimulatedRequest,
+    build_shapes,
+    register_prediction_model,
+    zipfian_workload,
+)
+
+__all__ = [
+    "QueryShape",
+    "ServingRuntime",
+    "ServingStatement",
+    "ServingTicket",
+    "SimulatedRequest",
+    "build_shapes",
+    "register_prediction_model",
+    "zipfian_workload",
+]

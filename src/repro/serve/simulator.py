@@ -1,0 +1,183 @@
+"""Deterministic Zipfian traffic for the serving benchmark and stress tests.
+
+Real serving traffic is skewed: a few statement shapes dominate (the regime
+bind batching exploits) with a long tail of ad-hoc analytics.  The simulator
+reproduces that shape deterministically — same seed, same request stream —
+so the benchmark's naive-loop and runtime measurements, and the concurrency
+suite's serial and pooled replays, process *identical* work.
+
+The shape catalog is a hot head of **parameterized** statements (Q6's
+discount/quantity sweep, Q1's cutoff sweep, an orders date window, and a
+``PREDICT`` scoring query over the Amazon-reviews corpus) followed by a tail
+of the 22 raw TPC-H query texts.  Ranks follow a Zipf distribution
+(``p ∝ 1/rank^s``), so the parameterized head absorbs most of the traffic —
+exactly the repeated-statement pattern the plan cache and the batcher are
+built for.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.session import TQPSession
+from repro.datasets import amazon_reviews, tpch
+
+#: SQL of the hot parameterized shapes (module-level so tests and benchmarks
+#: can prepare them directly).
+Q6_SHAPE = """
+select sum(l_extendedprice * l_discount) as revenue
+from lineitem
+where
+    l_shipdate >= date '1994-01-01'
+    and l_shipdate < date '1994-01-01' + interval '1' year
+    and l_discount between :lo and :hi
+    and l_quantity < :q
+"""
+
+Q1_SHAPE = """
+select
+    l_returnflag, l_linestatus,
+    sum(l_quantity) as sum_qty,
+    sum(l_extendedprice * (1 - l_discount)) as sum_disc_price,
+    avg(l_discount) as avg_disc,
+    count(*) as count_order
+from lineitem
+where l_shipdate <= :cutoff
+group by l_returnflag, l_linestatus
+order by l_returnflag, l_linestatus
+"""
+
+ORDERS_WINDOW_SHAPE = """
+select o_orderpriority, count(*) as order_count
+from orders
+where o_orderdate >= :start and o_orderdate < :stop
+group by o_orderpriority
+order by o_orderpriority
+"""
+
+PREDICTION_SHAPE = """
+select brand,
+       sum(case when rating >= :cut then 1 else 0 end) as actual_positive,
+       sum(predict('sentiment_classifier', text)) as predicted_positive
+from amazon_reviews
+group by brand
+order by brand
+"""
+
+
+def _q6_binding(rng: np.random.RandomState) -> dict:
+    """Spec-style Q6 substitution parameters (discount window + quantity)."""
+    discount = 0.02 + int(rng.randint(0, 8)) * 0.01
+    return {"lo": round(discount - 0.01, 2), "hi": round(discount + 0.01, 2),
+            "q": float(24 + int(rng.randint(0, 2)))}
+
+
+def _q1_binding(rng: np.random.RandomState) -> dict:
+    return {"cutoff": f"1998-{int(rng.randint(6, 10)):02d}-"
+                      f"{1 + int(rng.randint(0, 28)):02d}"}
+
+
+def _orders_binding(rng: np.random.RandomState) -> dict:
+    year = 1993 + int(rng.randint(0, 4))
+    month = 1 + int(rng.randint(0, 10))
+    stop_month, stop_year = month + 3, year
+    if stop_month > 12:
+        stop_month, stop_year = stop_month - 12, year + 1
+    return {"start": f"{year}-{month:02d}-01",
+            "stop": f"{stop_year}-{stop_month:02d}-01"}
+
+
+def _prediction_binding(rng: np.random.RandomState) -> dict:
+    return {"cut": 2 + int(rng.randint(0, 3))}
+
+
+@dataclasses.dataclass(frozen=True)
+class QueryShape:
+    """One statement shape of the workload."""
+
+    name: str
+    sql: str
+    #: Draws one parameter binding; ``None`` for unparameterized shapes.
+    binder: Optional[Callable[[np.random.RandomState], dict]] = None
+
+
+@dataclasses.dataclass(frozen=True)
+class SimulatedRequest:
+    """One request of the generated stream: a shape plus its binding."""
+
+    shape: QueryShape
+    params: Optional[dict]
+
+
+def build_shapes(scale_factor: float, include_prediction: bool = True,
+                 tail_queries: int = 22) -> list[QueryShape]:
+    """The rank-ordered shape catalog: parameterized head, raw-TPC-H tail.
+
+    ``tail_queries`` truncates the tail (CI smoke runs keep compile time down
+    by carrying only the first few of the 22 shapes).
+    """
+    shapes = [
+        QueryShape("q6_discount", Q6_SHAPE, _q6_binding),
+        QueryShape("q1_cutoff", Q1_SHAPE, _q1_binding),
+        QueryShape("orders_window", ORDERS_WINDOW_SHAPE, _orders_binding),
+    ]
+    if include_prediction:
+        shapes.append(
+            QueryShape("predict_sentiment", PREDICTION_SHAPE,
+                       _prediction_binding))
+    for number in tpch.ALL_QUERY_IDS[:tail_queries]:
+        shapes.append(QueryShape(f"tpch_q{number}",
+                                 tpch.query(number, scale_factor)))
+    return shapes
+
+
+def zipfian_workload(shapes: list[QueryShape], num_requests: int,
+                     seed: int = 0, s: float = 1.2) -> list[SimulatedRequest]:
+    """A deterministic request stream: shape ranks drawn Zipf(s), bindings
+    drawn from each shape's parameter distribution.
+
+    Same ``(shapes, num_requests, seed, s)`` → byte-identical stream, which
+    is what lets the benchmark compare naive and runtime execution of *the
+    same* traffic and the tests demand bit-identical per-request results.
+    """
+    if num_requests < 0:
+        raise ValueError("num_requests must be >= 0")
+    if s <= 0:
+        raise ValueError("zipf exponent s must be > 0")
+    rng = np.random.RandomState(seed)
+    ranks = np.arange(1, len(shapes) + 1, dtype=np.float64)
+    probs = ranks ** -s
+    probs /= probs.sum()
+    choices = rng.choice(len(shapes), size=num_requests, p=probs)
+    requests = []
+    for choice in choices:
+        shape = shapes[int(choice)]
+        params = shape.binder(rng) if shape.binder is not None else None
+        requests.append(SimulatedRequest(shape=shape, params=params))
+    return requests
+
+
+def register_prediction_model(session: TQPSession, num_reviews: int = 400,
+                              seed: int = 7) -> None:
+    """Register the Amazon-reviews table and sentiment model the
+    ``predict_sentiment`` shape scores with (small corpus, short training —
+    the serving workload exercises inference, not fitting)."""
+    from repro.ml.models import (
+        BagOfWordsVectorizer,
+        LogisticRegression,
+        Pipeline,
+    )
+
+    reviews = amazon_reviews.generate_reviews(num_reviews=num_reviews,
+                                              seed=seed)
+    train_texts, train_labels, _, _ = amazon_reviews.training_split(reviews)
+    model = Pipeline([
+        ("vectorizer", BagOfWordsVectorizer(
+            vocabulary=amazon_reviews.SENTIMENT_VOCABULARY)),
+        ("classifier", LogisticRegression(epochs=40)),
+    ]).fit(train_texts, train_labels)
+    session.register("amazon_reviews", reviews)
+    session.register_model("sentiment_classifier", model)

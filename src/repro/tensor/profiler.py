@@ -20,6 +20,14 @@ from typing import Iterable
 
 from repro.tensor.device import Device
 
+# Profiler/lane activation is **execution-scoped**: each thread has its own
+# activation stacks, so concurrent executions on a serving worker pool never
+# see each other's profilers, and a profiler is active exactly where it was
+# entered.  Code that hands an execution to another thread ships the caller's
+# activation along with it via :func:`capture_scope` — without that, ops
+# dispatched on the worker thread would find no active profiler and their
+# events would be silently dropped (wrong simulated kernel times, missing
+# lane events).
 _STATE = threading.local()
 
 
@@ -28,6 +36,52 @@ def current_profiler() -> "Profiler | None":
     if not stack:
         return None
     return stack[-1]
+
+
+def capture_scope() -> "ProfileScope":
+    """Snapshot the calling thread's profiler/lane activation.
+
+    The returned :class:`ProfileScope` is a context manager that re-activates
+    the captured profilers on whatever thread enters it.  A serving runtime
+    captures the scope at request admission and enters it on the worker
+    thread around the execution, so profiled results are identical whether a
+    query runs on the caller thread or a pool thread.
+    """
+    return ProfileScope(list(getattr(_STATE, "stack", None) or ()),
+                        list(getattr(_STATE, "lanes", None) or ()))
+
+
+class ProfileScope:
+    """A captured profiler/lane activation, re-enterable on any thread.
+
+    Entering pushes the captured profilers onto the *current* thread's
+    activation stack (recording itself is thread-safe, see
+    :meth:`Profiler.record`); exiting restores the thread's previous state.
+    Re-entrant and usable from several threads at once.
+    """
+
+    def __init__(self, stack: "list[Profiler]", lanes: "list[int]"):
+        self._stack = stack
+        self._lanes = lanes
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no profiler was active at capture time."""
+        return not self._stack and not self._lanes
+
+    def __enter__(self) -> "ProfileScope":
+        saved = (getattr(_STATE, "stack", None) or [],
+                 getattr(_STATE, "lanes", None) or [])
+        if not hasattr(_STATE, "saved"):
+            _STATE.saved = []
+        _STATE.saved.append(saved)
+        _STATE.stack = saved[0] + self._stack
+        _STATE.lanes = saved[1] + self._lanes
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        saved = _STATE.saved.pop() if getattr(_STATE, "saved", None) else ([], [])
+        _STATE.stack, _STATE.lanes = saved
 
 
 # -- worker-lane annotation ---------------------------------------------------
@@ -109,12 +163,16 @@ class Profiler:
         self.events: list[OpEvent] = []
         self._scopes: list[str] = []
         self._start = time.perf_counter()
+        # Appends are guarded so a profiler propagated to worker threads (see
+        # :func:`capture_scope`) collects every event instead of losing some
+        # to a torn list append.
+        self._record_lock = threading.Lock()
 
     # -- recording ---------------------------------------------------------
 
     def record(self, op: str, elapsed_s: float, input_bytes: int,
                output_bytes: int, device: Device) -> None:
-        self.events.append(OpEvent(
+        event = OpEvent(
             op=op,
             elapsed_s=elapsed_s,
             input_bytes=input_bytes,
@@ -123,7 +181,9 @@ class Profiler:
             timestamp_s=time.perf_counter() - self._start,
             scope=self._scopes[-1] if self._scopes else "",
             lane=current_lane(),
-        ))
+        )
+        with self._record_lock:
+            self.events.append(event)
 
     def push_scope(self, scope: str) -> None:
         """Enter a named scope (used to attribute ops to relational operators)."""
@@ -227,9 +287,15 @@ class Profiler:
         return self
 
     def __exit__(self, *exc_info) -> None:
+        # Remove this profiler from the current thread's activation stack
+        # wherever it sits: an unbalanced inner enter/exit (or an exception
+        # unwinding through several activations) must never leave a dead
+        # profiler active on a long-lived serving worker thread.
         stack = getattr(_STATE, "stack", [])
-        if stack and stack[-1] is self:
-            stack.pop()
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] is self:
+                del stack[index]
+                break
 
 
 def merge_profiles(profiles: Iterable[Profiler], name: str = "merged") -> Profiler:

@@ -21,6 +21,12 @@ from repro.errors import GraphError
 from repro.tensor.graph import Graph, Value
 from repro.tensor.tensor import Tensor
 
+# Trace capture is **thread-scoped**: each thread records into its own active
+# trace context, so a serving worker tracing a cold statement never captures
+# ops dispatched concurrently by other workers (their requests would otherwise
+# leak foreign nodes into the graph).  The executor serializes compilation per
+# plan (see ``Executor.compile_program``) and always traces on the thread that
+# runs the ops, which together make tracing safe under a worker pool.
 _STATE = threading.local()
 
 
@@ -65,7 +71,11 @@ class TraceContext:
         return self
 
     def __exit__(self, *exc_info) -> None:
-        _STATE.trace = None
+        # Only clear our own activation: if an exception unwound through a
+        # stale context on a pooled worker thread, a blind reset could cancel
+        # a trace that a fresh context on this thread legitimately owns.
+        if current_trace() is self:
+            _STATE.trace = None
 
 
 def trace(fn: Callable[..., "Tensor | Sequence[Tensor]"],

@@ -1,0 +1,149 @@
+"""Concurrency stress for the serving runtime: many client threads hammering
+one shared runtime, checked bit-identically against serial execution of the
+same request stream, across pool sizes {1, 4, 8} — plus overload behaviour
+(admission rejections and queue-deadline timeouts) and recovery after it."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import ExecutionOptions, TQPSession
+from repro.bench.harness import tpch_session
+from repro.errors import AdmissionError, RequestTimeoutError
+from repro.serve import (
+    ServingRuntime,
+    build_shapes,
+    register_prediction_model,
+    zipfian_workload,
+)
+
+SERVING_SF = 0.0001
+OPTIONS = ExecutionOptions(backend="torchscript", device="cpu")
+NUM_CLIENTS = 6
+REQUESTS_PER_CLIENT = 25
+
+
+@pytest.fixture(scope="module")
+def serving_setup():
+    """Shared session, shapes, and the per-client deterministic workloads."""
+    _, tables = tpch_session(SERVING_SF)
+    session = TQPSession()
+    for name, frame in tables.items():
+        session.register(name, frame)
+    register_prediction_model(session)
+    shapes = build_shapes(SERVING_SF, tail_queries=2)
+    workloads = [
+        zipfian_workload(shapes, REQUESTS_PER_CLIENT, seed=500 + client, s=1.3)
+        for client in range(NUM_CLIENTS)
+    ]
+    return session, shapes, workloads
+
+
+def _serial_results(session, workloads):
+    """Every client's stream executed one-at-a-time on the caller thread."""
+    handles: dict = {}
+    serial = []
+    for workload in workloads:
+        client_results = []
+        for request in workload:
+            prepared = handles.get(request.shape.name)
+            if prepared is None:
+                prepared = handles[request.shape.name] = session.prepare(
+                    request.shape.sql, options=OPTIONS)
+            bound = (prepared.bind(**request.params) if request.params
+                     else prepared.bind())
+            client_results.append(bound.execute())
+        serial.append(client_results)
+    return serial
+
+
+def _assert_result_identical(left, right, context):
+    table_l, table_r = left.table.decoded(), right.table.decoded()
+    assert table_l.column_names == table_r.column_names, context
+    for name in table_l.column_names:
+        data_l = table_l.column(name).tensor.data
+        data_r = table_r.column(name).tensor.data
+        assert data_l.dtype == data_r.dtype, f"{context}, column {name!r}"
+        assert np.array_equal(data_l, data_r), (
+            f"{context}, column {name!r}: concurrent result differs from "
+            f"serial execution")
+
+
+@pytest.mark.parametrize("workers", [1, 4, 8])
+def test_concurrent_clients_match_serial_bitwise(serving_setup, workers):
+    session, shapes, workloads = serving_setup
+    serial = _serial_results(session, workloads)
+
+    with ServingRuntime(session, workers=workers, max_queue_depth=4096,
+                        batch_window=16, default_options=OPTIONS) as runtime:
+        statements = {shape.name: runtime.prepare(shape.sql) for shape in shapes}
+        concurrent: list = [None] * NUM_CLIENTS
+        errors: list = []
+
+        def client(client_id: int) -> None:
+            try:
+                tickets = [runtime.submit(statements[request.shape.name],
+                                          params=request.params)
+                           for request in workloads[client_id]]
+                concurrent[client_id] = [t.result(120) for t in tickets]
+            except Exception as exc:  # noqa: BLE001 - surfaced by the assert
+                errors.append((client_id, exc))
+
+        threads = [threading.Thread(target=client, args=(i,))
+                   for i in range(NUM_CLIENTS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(300)
+        assert not errors, errors[0]
+        stats = runtime.stats()
+
+    assert stats["completed"] == NUM_CLIENTS * REQUESTS_PER_CLIENT
+    assert stats["failed"] == 0 and stats["timed_out"] == 0
+    for client_id in range(NUM_CLIENTS):
+        assert concurrent[client_id] is not None
+        for index, (left, right) in enumerate(
+                zip(serial[client_id], concurrent[client_id])):
+            _assert_result_identical(
+                left, right,
+                f"workers={workers}, client {client_id}, request {index} "
+                f"({workloads[client_id][index].shape.name})")
+
+
+def test_overload_rejects_then_recovers(serving_setup):
+    session, shapes, workloads = serving_setup
+    flat = [request for workload in workloads for request in workload]
+    with ServingRuntime(session, workers=2, max_queue_depth=8,
+                        batch_window=4, default_options=OPTIONS) as runtime:
+        statements = {shape.name: runtime.prepare(shape.sql) for shape in shapes}
+        admitted, rejected, timed_out = [], 0, 0
+        for request in flat:
+            try:
+                admitted.append(runtime.submit(statements[request.shape.name],
+                                               params=request.params,
+                                               timeout=0.002))
+            except AdmissionError:
+                rejected += 1
+        for ticket in admitted:
+            try:
+                ticket.result(120)
+            except RequestTimeoutError:
+                timed_out += 1
+        stats = runtime.stats()
+        assert stats["rejected"] == rejected
+        assert stats["timed_out"] == timed_out
+        # The tight queue + 2ms deadline under a full blast must trip at
+        # least one of the overload paths, and nothing may fail any other way.
+        assert rejected + timed_out > 0
+        assert stats["failed"] == 0
+        assert stats["completed"] == len(admitted) - timed_out
+
+        # After the storm drains, the runtime serves normally again.
+        request = flat[0]
+        result = runtime.execute(statements[request.shape.name],
+                                 params=request.params)
+        assert result is not None
+        assert runtime.stats()["queue_depth"] == 0
