@@ -138,7 +138,7 @@ def serving_tables():
     return tables
 
 
-def test_serving_runtime_throughput(serving_tables):
+def test_serving_runtime_throughput(serving_tables, json_out):
     shapes = build_shapes(SERVING_SF, tail_queries=TAIL_QUERIES)
     workload = zipfian_workload(shapes, NUM_REQUESTS, seed=42, s=ZIPF_S)
 
@@ -162,6 +162,25 @@ def test_serving_runtime_throughput(serving_tables):
           f"  speedup {speedup:.2f}x; batches={stats['batches']}, "
           f"batched={stats['batched_requests']}, "
           f"deduped={stats['deduped_requests']}")
+
+    if json_out is not None:
+        from repro.bench import write_bench_json
+
+        path = write_bench_json(json_out / "BENCH_serving.json", {
+            "benchmark": "serving_runtime",
+            "scale_factor": SERVING_SF,
+            "requests": NUM_REQUESTS,
+            "zipf_s": ZIPF_S,
+            "workers": WORKERS,
+            "batch_window": BATCH_WINDOW,
+            "naive_qps": naive_qps,
+            "runtime_qps": runtime_qps,
+            "speedup": speedup,
+            "latency_p50_s": p50,
+            "latency_p99_s": p99,
+            "runtime_stats": dict(stats),
+        })
+        print(f"  wrote {path}")
 
     assert stats["batches"] > 0, "bind batching never engaged"
     assert speedup >= 3.0, (

@@ -15,11 +15,23 @@ from repro.bench import tpch_session
 def pytest_addoption(parser):
     parser.addoption("--tpch-sf", action="store", type=float, default=0.01,
                      help="TPC-H scale factor used by the benchmarks")
+    parser.addoption("--json-out", action="store", default=None,
+                     help="directory for machine-readable BENCH_*.json "
+                          "artifacts (omit to skip writing them)")
 
 
 @pytest.fixture(scope="session")
 def scale_factor(request) -> float:
     return request.config.getoption("--tpch-sf")
+
+
+@pytest.fixture(scope="session")
+def json_out(request):
+    """Artifact directory from ``--json-out``, or ``None`` when not writing."""
+    import pathlib
+
+    value = request.config.getoption("--json-out")
+    return pathlib.Path(value) if value else None
 
 
 @pytest.fixture(scope="session")

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import dataclasses
 
+from repro.tensor.op_semantics import EXCHANGE_OPS
 from repro.tensor.profiler import Profiler
 
 #: Ops charged by cost models as host<->device transfers rather than kernels.
@@ -47,6 +48,29 @@ def split_parallel(events):
         else:
             lanes.setdefault(event.lane, []).append(event)
     return serial, lanes, dispatches
+
+
+def split_sharded(events):
+    """Partition kernel events into the multi-device execution structure.
+
+    Returns ``(host_events, shards, exchange_events)`` where ``shards`` maps
+    a device (shard) id to the events executed on that device.  Exchange ops
+    (``shard_exchange`` / ``shard_broadcast`` / ``shard_gather``) are pulled
+    out first, whatever shard annotation they carry — they are zero-copy
+    identities whose *payload bytes* the cost models charge against an
+    interconnect tier, never as kernels.  Events outside any ``shard_scope``
+    run on the host.  Devices run concurrently, so a distributed region
+    charges its *slowest shard*, plus every host event, plus the exchanges.
+    """
+    host, shards, exchanges = [], {}, []
+    for event in events:
+        if event.op in EXCHANGE_OPS:
+            exchanges.append(event)
+        elif event.shard is None:
+            host.append(event)
+        else:
+            shards.setdefault(event.shard, []).append(event)
+    return host, shards, exchanges
 
 
 @dataclasses.dataclass(frozen=True)

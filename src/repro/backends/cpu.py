@@ -13,30 +13,54 @@ per morsel dispatch.  Serial plans charge every kernel — same basis, so
 
 from __future__ import annotations
 
-from repro.backends.base import DeviceCostModel, split_parallel
+from repro.backends.base import DeviceCostModel, split_parallel, split_sharded
 from repro.tensor.profiler import Profiler
 
 
 class CPUDevice(DeviceCostModel):
     """The host CPU — kernels run for real; see the module docstring for the
-    measured-vs-kernel-time reporting rules."""
+    measured-vs-kernel-time reporting rules.
+
+    With ``devices > 1`` the "devices" are NUMA-socket-like peers reached over
+    a coherent interconnect: each shard's kernels run concurrently (the region
+    charges its slowest shard), and every exchange op pays a per-message
+    latency plus its payload bytes over the interconnect bandwidth.
+    """
 
     name = "cpu"
 
-    def __init__(self, morsel_dispatch_overhead_s: float = 2e-6):
+    def __init__(self, morsel_dispatch_overhead_s: float = 2e-6,
+                 interconnect_bandwidth_gbs: float = 25.0,
+                 interconnect_latency_s: float = 1e-6):
         #: Task-queue push/pop cost charged per morsel handed to a worker.
         self.morsel_dispatch_overhead_s = morsel_dispatch_overhead_s
+        #: Peer-to-peer bandwidth between simulated devices (UPI/xGMI-class).
+        self.interconnect_bandwidth_gbs = interconnect_bandwidth_gbs
+        #: Fixed per-message cost charged per exchange op.
+        self.interconnect_latency_s = interconnect_latency_s
+
+    def _group_time(self, events) -> float:
+        serial, lanes, dispatches = split_parallel(events)
+        serial_s = sum(event.elapsed_s for event in serial)
+        slowest_lane_s = max((sum(event.elapsed_s for event in lane_events)
+                              for lane_events in lanes.values()), default=0.0)
+        return (serial_s + slowest_lane_s
+                + len(dispatches) * self.morsel_dispatch_overhead_s)
 
     def report_time(self, measured_s: float, profile: Profiler | None,
                     interpreter_overhead_s: float = 0.0) -> float:
         if profile is None or not profile.events:
             return measured_s
-        serial, lanes, dispatches = split_parallel(profile.events)
-        serial_s = sum(event.elapsed_s for event in serial)
-        slowest_lane_s = max((sum(event.elapsed_s for event in lane_events)
-                              for lane_events in lanes.values()), default=0.0)
-        dispatch_s = len(dispatches) * self.morsel_dispatch_overhead_s
-        return serial_s + slowest_lane_s + dispatch_s
+        host, shards, exchanges = split_sharded(profile.events)
+        bandwidth_bps = self.interconnect_bandwidth_gbs * 1e9
+        # An exchange op's payload is its output tensor (it is an identity);
+        # charging input+output bytes would count the same payload twice.
+        exchange_s = sum(self.interconnect_latency_s
+                         + event.output_bytes / bandwidth_bps
+                         for event in exchanges)
+        slowest_shard_s = max((self._group_time(events)
+                               for events in shards.values()), default=0.0)
+        return self._group_time(host) + slowest_shard_s + exchange_s
 
     def describe(self) -> dict:
         return {
@@ -44,4 +68,6 @@ class CPUDevice(DeviceCostModel):
             "simulated": False,
             "profiled_report": "kernel time: serial + slowest lane + dispatch",
             "morsel_dispatch_overhead_s": self.morsel_dispatch_overhead_s,
+            "interconnect_bandwidth_gbs": self.interconnect_bandwidth_gbs,
+            "interconnect_latency_s": self.interconnect_latency_s,
         }

@@ -28,12 +28,25 @@ execution does not help tiny queries.
 
 from __future__ import annotations
 
-from repro.backends.base import TRANSFER_OPS, DeviceCostModel, split_parallel
+from repro.backends.base import (
+    TRANSFER_OPS,
+    DeviceCostModel,
+    split_parallel,
+    split_sharded,
+)
+from repro.tensor.op_semantics import GATHER_OP
 from repro.tensor.profiler import Profiler
 
 
 class SimulatedGPU(DeviceCostModel):
-    """Analytic P100-like cost model."""
+    """Analytic P100-like cost model.
+
+    With ``devices > 1`` the simulated GPUs are NVLink peers: each shard's
+    kernels run concurrently (the region charges its slowest device) and
+    peer-to-peer exchanges (``shard_exchange`` / ``shard_broadcast``) move at
+    NVLink bandwidth, while the final ``shard_gather`` back to the host pays
+    the same PCIe tier as any other host<->device copy.
+    """
 
     name = "cuda (simulated)"
 
@@ -45,6 +58,8 @@ class SimulatedGPU(DeviceCostModel):
         compute_speedup: float = 12.0,
         pcie_latency_s: float = 3e-6,
         morsel_dispatch_overhead_s: float = 4e-6,
+        nvlink_bandwidth_gbs: float = 300.0,
+        nvlink_latency_s: float = 2e-6,
     ):
         self.hbm_bandwidth_gbs = hbm_bandwidth_gbs
         self.pcie_bandwidth_gbs = pcie_bandwidth_gbs
@@ -58,6 +73,10 @@ class SimulatedGPU(DeviceCostModel):
         #: (the GPU analogue is launching the morsel's kernels on a side
         #: stream).  Dispatch is serial — it caps morsel-parallel speedup.
         self.morsel_dispatch_overhead_s = morsel_dispatch_overhead_s
+        #: Peer-to-peer bandwidth between simulated GPUs (NVLink-class).
+        self.nvlink_bandwidth_gbs = nvlink_bandwidth_gbs
+        #: Fixed setup latency charged per peer-to-peer message.
+        self.nvlink_latency_s = nvlink_latency_s
 
     @property
     def min_report_s(self) -> float:
@@ -73,21 +92,38 @@ class SimulatedGPU(DeviceCostModel):
             return max(measured_s / self.compute_speedup, self.min_report_s)
         hbm_bps = self.hbm_bandwidth_gbs * 1e9
         pcie_bps = self.pcie_bandwidth_gbs * 1e9
+        nvlink_bps = self.nvlink_bandwidth_gbs * 1e9
         transfers, kernels = profile.partition(TRANSFER_OPS)
-        serial_kernels, lanes, dispatches = split_parallel(kernels)
+        host_kernels, shards, exchanges = split_sharded(kernels)
 
         def kernel_cost(event) -> float:
             return max(self.kernel_launch_overhead_s, event.total_bytes / hbm_bps)
 
-        # Worker lanes run concurrently: the parallel region costs its slowest
-        # lane.  Per-morsel dispatch stays serial (one scheduler), which is
-        # what bends the speedup curve at high worker counts.
-        compute_s = (
-            sum(kernel_cost(event) for event in serial_kernels)
-            + max((sum(kernel_cost(event) for event in lane_events)
-                   for lane_events in lanes.values()), default=0.0)
-            + len(dispatches) * self.morsel_dispatch_overhead_s
-        )
+        def group_cost(events) -> float:
+            # Worker lanes run concurrently: the parallel region costs its
+            # slowest lane.  Per-morsel dispatch stays serial (one scheduler),
+            # which is what bends the speedup curve at high worker counts.
+            serial_kernels, lanes, dispatches = split_parallel(events)
+            return (
+                sum(kernel_cost(event) for event in serial_kernels)
+                + max((sum(kernel_cost(event) for event in lane_events)
+                       for lane_events in lanes.values()), default=0.0)
+                + len(dispatches) * self.morsel_dispatch_overhead_s
+            )
+
+        # Simulated devices run concurrently: a distributed region costs its
+        # slowest device, on top of everything the host executes serially.
+        compute_s = group_cost(host_kernels) + max(
+            (group_cost(events) for events in shards.values()), default=0.0)
+        # Peer exchanges ride NVLink; the gather back to the host rides PCIe.
+        # An exchange op is an identity — its payload is its output tensor.
+        exchange_s = 0.0
+        for event in exchanges:
+            if event.op == GATHER_OP:
+                exchange_s += self.pcie_latency_s + event.output_bytes / pcie_bps
+            else:
+                exchange_s += (self.nvlink_latency_s
+                               + event.output_bytes / nvlink_bps)
         # A to_device event's payload is its output tensor; input/output byte
         # totals would charge the same copy twice.
         last_kernel_ts = max((e.timestamp_s for e in kernels), default=float("-inf"))
@@ -98,7 +134,9 @@ class SimulatedGPU(DeviceCostModel):
                 hideable_s += cost  # overlapped with compute via the copy engine
             else:
                 exposed_s += cost
-        return max(compute_s, hideable_s) + exposed_s
+        # Exchanges synchronize producer and consumer devices, so unlike the
+        # initial uploads they are never hidden behind compute.
+        return max(compute_s, hideable_s) + exposed_s + exchange_s
 
     def describe(self) -> dict:
         return {
@@ -109,4 +147,6 @@ class SimulatedGPU(DeviceCostModel):
             "kernel_launch_overhead_s": self.kernel_launch_overhead_s,
             "pcie_latency_s": self.pcie_latency_s,
             "morsel_dispatch_overhead_s": self.morsel_dispatch_overhead_s,
+            "nvlink_bandwidth_gbs": self.nvlink_bandwidth_gbs,
+            "nvlink_latency_s": self.nvlink_latency_s,
         }

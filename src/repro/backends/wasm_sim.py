@@ -10,7 +10,12 @@ represents WASM code generation quality and the weaker client machine.
 
 from __future__ import annotations
 
-from repro.backends.base import TRANSFER_OPS, DeviceCostModel, split_parallel
+from repro.backends.base import (
+    TRANSFER_OPS,
+    DeviceCostModel,
+    split_parallel,
+    split_sharded,
+)
 from repro.tensor.profiler import Profiler
 
 
@@ -20,7 +25,9 @@ class SimulatedWASM(DeviceCostModel):
     name = "wasm (simulated)"
 
     def __init__(self, slowdown: float = 6.0, per_op_overhead_s: float = 30e-6,
-                 morsel_dispatch_overhead_s: float = 20e-6):
+                 morsel_dispatch_overhead_s: float = 20e-6,
+                 message_bandwidth_gbs: float = 1.0,
+                 message_latency_s: float = 50e-6):
         #: Multiplier over native CPU time (WASM SIMD-less kernels + laptop CPU).
         self.slowdown = slowdown
         #: JS/WASM boundary crossing cost charged per executed op.
@@ -30,6 +37,13 @@ class SimulatedWASM(DeviceCostModel):
         #: every other event, and deliberately steep: browsers make fine-
         #: grained task parallelism expensive.
         self.morsel_dispatch_overhead_s = morsel_dispatch_overhead_s
+        #: Structured-clone serialization bandwidth for moving a shard
+        #: fragment between Web Workers — the browser's "interconnect" copies
+        #: payloads through ``postMessage``, orders of magnitude slower than
+        #: any GPU link.
+        self.message_bandwidth_gbs = message_bandwidth_gbs
+        #: Fixed event-loop round-trip latency charged per exchanged message.
+        self.message_latency_s = message_latency_s
 
     def report_time(self, measured_s: float, profile: Profiler | None,
                     interpreter_overhead_s: float = 0.0) -> float:
@@ -50,13 +64,28 @@ class SimulatedWASM(DeviceCostModel):
         worker-lane kernels is replaced by the slowest lane's share before the
         slowdown is applied, and every morsel dispatch pays a ``postMessage``
         charge on top of its boundary crossing.
+
+        Multi-device plans model a Web-Worker *pool*: each shard's kernels run
+        on their own worker, so the measured time of all shard kernels (and of
+        the zero-cost exchange identities) is replaced by the slowest shard's
+        share, and every exchange pays a ``postMessage`` latency plus its
+        payload bytes over the structured-clone bandwidth.
         """
         if profile is None:
             return measured_s * self.slowdown
         n_boundary_crossings = len(profile.events)
         _, kernels = profile.partition(TRANSFER_OPS)
         kernel_s = max(0.0, measured_s - len(kernels) * interpreter_overhead_s)
-        _, lanes, dispatches = split_parallel(kernels)
+        host_kernels, shards, exchanges = split_sharded(kernels)
+        if shards or exchanges:
+            off_host_s = sum(
+                event.elapsed_s
+                for events in shards.values() for event in events
+            ) + sum(event.elapsed_s for event in exchanges)
+            slowest_shard_s = max((sum(event.elapsed_s for event in events)
+                                   for events in shards.values()), default=0.0)
+            kernel_s = max(0.0, kernel_s - off_host_s + slowest_shard_s)
+        _, lanes, dispatches = split_parallel(host_kernels)
         if lanes:
             laned_total_s = sum(event.elapsed_s
                                 for lane_events in lanes.values()
@@ -64,9 +93,15 @@ class SimulatedWASM(DeviceCostModel):
             slowest_lane_s = max(sum(event.elapsed_s for event in lane_events)
                                  for lane_events in lanes.values())
             kernel_s = max(0.0, kernel_s - laned_total_s + slowest_lane_s)
+        bandwidth_bps = self.message_bandwidth_gbs * 1e9
+        # Exchange ops are identities: their payload is their output tensor.
+        message_s = sum(self.message_latency_s
+                        + event.output_bytes / bandwidth_bps
+                        for event in exchanges)
         return (kernel_s * self.slowdown
                 + n_boundary_crossings * self.per_op_overhead_s
-                + len(dispatches) * self.morsel_dispatch_overhead_s)
+                + len(dispatches) * self.morsel_dispatch_overhead_s
+                + message_s)
 
     def describe(self) -> dict:
         return {
@@ -75,4 +110,6 @@ class SimulatedWASM(DeviceCostModel):
             "slowdown": self.slowdown,
             "per_op_overhead_s": self.per_op_overhead_s,
             "morsel_dispatch_overhead_s": self.morsel_dispatch_overhead_s,
+            "message_bandwidth_gbs": self.message_bandwidth_gbs,
+            "message_latency_s": self.message_latency_s,
         }

@@ -1,7 +1,13 @@
 """Benchmark harness helpers shared by the ``benchmarks/`` suite."""
 
-from repro.bench.harness import BenchResult, time_rowengine, time_tqp, tpch_session
+from repro.bench.harness import (
+    BenchResult,
+    time_rowengine,
+    time_tqp,
+    tpch_session,
+    write_bench_json,
+)
 from repro.bench.reporting import figure_table, series_dict
 
 __all__ = ["BenchResult", "figure_table", "series_dict", "time_rowengine",
-           "time_tqp", "tpch_session"]
+           "time_tqp", "tpch_session", "write_bench_json"]

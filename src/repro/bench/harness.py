@@ -10,6 +10,8 @@ the result tables always say which numbers are measured and which simulated.
 from __future__ import annotations
 
 import dataclasses
+import json
+import pathlib
 import statistics
 import time
 from typing import Callable, Optional
@@ -86,22 +88,27 @@ def time_tqp(session: TQPSession, sql: str, backend: str = "torchscript",
              device: str = "cpu", runs: int = 5, warmup: int = 2,
              profile: bool = False, use_cache: bool = True,
              parallelism: Optional[int] = None,
-             executor: str = "auto") -> BenchResult:
+             executor: str = "auto",
+             devices: Optional[int] = None,
+             shard: str = "hash") -> BenchResult:
     """Compile ``sql`` once and measure ``runs`` executions after ``warmup``.
 
     Passing ``parallelism`` (any value, including 1) forces profiling on so
     the device cost models see the per-worker-lane timelines — and so every
     point of a scaling curve reports on the same basis (the CPU device reports
     kernel time for profiled runs, wall time otherwise; mixing the two would
-    make speedups incomparable).
+    make speedups incomparable).  ``devices`` (any value, including 1) does
+    the same for the per-shard timelines of distributed plans, so
+    single-device vs multi-device points stay comparable too.
     """
-    if parallelism is not None:
+    if parallelism is not None or devices is not None:
         profile = True
     hits_before = session.plan_cache.hits
     compile_start = time.perf_counter()
     query = session.compile(sql, options=ExecutionOptions(
         backend=backend, device=device, use_cache=use_cache,
-        parallelism=parallelism, executor=executor))
+        parallelism=parallelism, executor=executor,
+        devices=devices, shard=shard))
     compile_s = time.perf_counter() - compile_start
     inputs = session.prepare_inputs(query.executor)
     for _ in range(warmup):
@@ -122,6 +129,23 @@ def time_tqp(session: TQPSession, sql: str, backend: str = "torchscript",
         times_s=times, result=last.to_dataframe(),
         plan_cache=cache_stats, wall_times_s=walls,
     )
+
+
+def write_bench_json(path: "str | pathlib.Path", payload: dict) -> pathlib.Path:
+    """Write one benchmark's machine-readable artifact (``--json-out``).
+
+    The payload is augmented with a schema tag and a wall-clock stamp so CI
+    artifacts from different runs can be told apart; parent directories are
+    created as needed.  Returns the resolved path.
+    """
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    record = {"schema": "tqp-bench/v1",
+              "generated_unix_s": round(time.time(), 3)}
+    record.update(payload)
+    path.write_text(json.dumps(record, indent=2, sort_keys=False) + "\n",
+                    encoding="utf-8")
+    return path
 
 
 def time_rowengine(session: TQPSession, tables: dict[str, DataFrame], sql: str,

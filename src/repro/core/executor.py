@@ -35,6 +35,7 @@ from repro.core.parameters import (
 )
 from repro.core.planner import OperatorPlan
 from repro.dataframe import DataFrame
+from repro.distributed import DistributedScanOperator, ShardedTable, shard_table
 from repro.errors import BatchBindingError, BindingError, CatalogError, ExecutionError
 from repro.tensor import Graph, Profiler, ScriptedProgram, Tensor, onnxlike, passes, tracing
 from repro.tensor.device import Device, parse_device
@@ -161,9 +162,15 @@ class Executor:
             stats = self.scan_stats.get(scan.alias)
             ndv = ({name: column.ndv for name, column in stats.columns.items()}
                    if stats is not None else None)
-            inputs[scan.alias] = TensorTable(
+            table = TensorTable(
                 encode_table(frame, scan.fields, mode=self.options.encoding,
                              column_ndv=ndv))
+            if isinstance(scan, DistributedScanOperator):
+                # Sharding is load-time placement, not query work: it happens
+                # here, outside any trace or profiler, and the traced program
+                # receives each shard's columns as separate named inputs.
+                table = shard_table(table, scan.devices, scan.shard_mode)
+            inputs[scan.alias] = table
         return inputs
 
     # -- execution ------------------------------------------------------------
@@ -283,39 +290,94 @@ class Executor:
         tensor (dictionary codes / run values) plus the encoding's auxiliary
         tensors (dictionary / run lengths), so a traced program receives the
         compressed layout exactly as stored.
+
+        Sharded tables flatten one shard at a time, with the shard id folded
+        into the part tag (``s<k>:data`` / ``s<k>:<part>``): each simulated
+        device's columns are distinct named inputs of the program, which is
+        what lets a traced distributed plan replay against re-registered data.
         """
         tensors: list[Tensor] = []
         layout: list[tuple[str, str, str]] = []
-        for alias in sorted(inputs):
-            table = inputs[alias]
+
+        def flatten_table(alias: str, table: TensorTable, prefix: str,
+                          shared: "dict[str, int] | None" = None) -> None:
             for name, column in table.columns():
                 tensors.append(column.tensor)
-                layout.append((alias, name, "data"))
+                layout.append((alias, name, prefix + "data"))
                 if column.encoding is not None:
+                    if shared is not None and shared.get(name) == id(column.encoding):
+                        # The encoding (dictionary) is one object replicated
+                        # across shards at load time: flatten it once, and let
+                        # every shard's rebuilt column share the rebuilt copy —
+                        # preserving the object identity the concat fast path
+                        # keys on.
+                        continue
+                    if shared is not None:
+                        shared[name] = id(column.encoding)
                     for part, tensor in column.encoding.parts():
                         tensors.append(tensor)
-                        layout.append((alias, name, part))
+                        layout.append((alias, name, prefix + part))
+
+        for alias in sorted(inputs):
+            table = inputs[alias]
+            if isinstance(table, ShardedTable):
+                shared: dict[str, int] = {}
+                for shard, sub in enumerate(table.shards):
+                    flatten_table(alias, sub, f"s{shard}:", shared)
+            else:
+                flatten_table(alias, table, "")
         return tensors, layout
 
     def _rebuild_inputs(self, tensors: list[Tensor],
                         layout: list[tuple[str, str, str]],
                         reference: dict[str, TensorTable]) -> dict[str, TensorTable]:
-        data: dict[tuple[str, str], Tensor] = {}
-        parts: dict[tuple[str, str], dict[str, Tensor]] = {}
+        data: dict[tuple[str, int | None, str], Tensor] = {}
+        parts: dict[tuple[str, int | None, str], dict[str, Tensor]] = {}
         for tensor, (alias, name, part) in zip(tensors, layout):
+            shard: int | None = None
+            if part.startswith("s") and ":" in part:
+                prefix, part = part.split(":", 1)
+                shard = int(prefix[1:])
             if part == "data":
-                data[(alias, name)] = tensor
+                data[(alias, shard, name)] = tensor
             else:
-                parts.setdefault((alias, name), {})[part] = tensor
-        rebuilt: dict[str, dict[str, TensorColumn]] = {}
-        for (alias, name), tensor in data.items():
-            ref_column = reference[alias].column(name)
+                parts.setdefault((alias, shard, name), {})[part] = tensor
+        rebuilt: dict[tuple[str, int | None], dict[str, TensorColumn]] = {}
+        # Shared encodings (dictionaries replicated across shards) were
+        # flattened once, under the first shard that carried them; rebuilt
+        # columns of later shards reuse that one rebuilt object, keeping the
+        # object identity the concat fast path relies on.  Insertion order of
+        # ``data`` follows the flatten order, so the carrying shard rebuilds
+        # before any shard that references it.
+        rebuilt_shared: dict[tuple[str, str], object] = {}
+        for (alias, shard, name), tensor in data.items():
+            ref_table = reference[alias]
+            if shard is not None:
+                ref_table = ref_table.shards[shard]
+            ref_column = ref_table.column(name)
             encoding = ref_column.encoding
             if encoding is not None:
-                encoding = encoding.with_parts(parts[(alias, name)])
-            rebuilt.setdefault(alias, {})[name] = TensorColumn(
+                own_parts = parts.get((alias, shard, name))
+                if own_parts is not None:
+                    encoding = encoding.with_parts(own_parts)
+                    if shard is not None:
+                        rebuilt_shared[(alias, name)] = encoding
+                else:
+                    encoding = rebuilt_shared[(alias, name)]
+            rebuilt.setdefault((alias, shard), {})[name] = TensorColumn(
                 tensor, ref_column.ltype, encoding=encoding)
-        return {alias: TensorTable(columns) for alias, columns in rebuilt.items()}
+        tables: dict[str, TensorTable] = {}
+        shard_groups: dict[str, dict[int, TensorTable]] = {}
+        for (alias, shard), columns in rebuilt.items():
+            if shard is None:
+                tables[alias] = TensorTable(columns)
+            else:
+                shard_groups.setdefault(alias, {})[shard] = TensorTable(columns)
+        for alias, group in shard_groups.items():
+            tables[alias] = ShardedTable(
+                [group[shard] for shard in sorted(group)],
+                reference[alias].spec)
+        return tables
 
     def _ensure_program(self, inputs: dict[str, TensorTable],
                         bound: Optional[dict] = None,

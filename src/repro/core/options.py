@@ -54,6 +54,15 @@ class ExecutionOptions:
             default).  Part of the plan-cache key.  Only affects graph
             backends; the eager ``pytorch`` backend has no cached graph to
             execute.
+        devices: number of simulated devices the plan's tables may be
+            sharded across (see :mod:`repro.distributed`) — ``None``
+            inherits the session default of 1 (single-device).  With
+            ``devices > 1`` the planner substitutes sharded operators with
+            explicit exchange/broadcast/gather steps, and the cost models
+            charge interconnect transfers between the shards.
+        shard: sharding strategy for base tables when ``devices > 1`` —
+            ``hash`` (rows spread by key hash) or ``range`` (contiguous row
+            ranges).  Part of the plan-cache and conversion-cache keys.
     """
 
     backend: Optional[str] = None
@@ -64,12 +73,17 @@ class ExecutionOptions:
     auto_parameterize: bool = False
     encoding: str = "auto"
     executor: str = "auto"
+    devices: Optional[int] = None
+    shard: str = "hash"
 
     def __post_init__(self) -> None:
         if self.executor not in EXECUTOR_MODES:
             raise ValueError(
                 f"executor must be one of {EXECUTOR_MODES}, "
                 f"got {self.executor!r}")
+        if self.shard not in ("hash", "range"):
+            raise ValueError(
+                f"shard must be 'hash' or 'range', got {self.shard!r}")
 
     def resolved(self, default_backend: str, default_device: Device | str,
                  default_parallelism: int = 1) -> "ExecutionOptions":
@@ -81,6 +95,8 @@ class ExecutionOptions:
                                 else default_device),
             parallelism=(default_parallelism if self.parallelism is None
                          else max(1, int(self.parallelism))),
+            devices=(1 if self.devices is None
+                     else max(1, int(self.devices))),
         )
 
     def replace(self, **changes: Any) -> "ExecutionOptions":
@@ -89,4 +105,4 @@ class ExecutionOptions:
     def cache_key(self) -> tuple:
         """The options' contribution to the session plan-cache key."""
         return (self.backend, str(self.device), self.optimize, self.parallelism,
-                self.encoding, self.executor)
+                self.encoding, self.executor, self.devices, self.shard)

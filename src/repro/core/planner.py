@@ -48,6 +48,17 @@ from repro.core.operators import (
     exprs_are_morsel_safe,
 )
 from repro.core.parameters import ParameterSpec
+from repro.distributed import (
+    SHARD_MIN_ROWS,
+    BroadcastJoinOperator,
+    DistributedFilterOperator,
+    DistributedProjectOperator,
+    DistributedRenameOperator,
+    DistributedScanOperator,
+    GatherOperator,
+    ShardedAggregateOperator,
+    ShuffleJoinOperator,
+)
 from repro.errors import PlanningError
 from repro.frontend import ast
 from repro.frontend.logical import Field
@@ -128,6 +139,15 @@ def ir_contains_params(root: ir.IRNode) -> bool:
                for expr in ir_node_expressions(node))
 
 
+def ir_contains_subqueries(root: ir.IRNode) -> bool:
+    """True when any expression embeds a runtime-evaluated subquery."""
+    return any(isinstance(sub, (ast.InSubquery, ast.ExistsSubquery,
+                                ast.ScalarSubquery))
+               for node in root.walk()
+               for expr in ir_node_expressions(node)
+               for sub in ast.walk_expr(expr))
+
+
 class Planner:
     """Maps each IR operator to its tensor-program implementation.
 
@@ -144,9 +164,13 @@ class Planner:
                  table_rows: Optional[Mapping[str, int]] = None,
                  morsel_rows: int = DEFAULT_MORSEL_ROWS,
                  use_threads: bool = False,
-                 table_stats: Optional[Mapping[str, object]] = None) -> None:
+                 table_stats: Optional[Mapping[str, object]] = None,
+                 devices: int = 1, shard_mode: str = "hash") -> None:
         self._scans: list[ScanOperator] = []
         self.parallelism = max(1, int(parallelism))
+        #: Simulated devices for sharded execution; 1 keeps plans single-device.
+        self.devices = max(1, int(devices))
+        self.shard_mode = shard_mode
         self.table_rows = {name.lower(): rows
                            for name, rows in (table_rows or {}).items()}
         self.morsel_rows = morsel_rows
@@ -181,7 +205,17 @@ class Planner:
         # replays correctly when a rebinding changes intermediate sizes (the
         # radix-partitioned join bakes its partition layout into the trace).
         self._contains_params = ir_contains_params(root)
-        operator_root = self._plan_node(root)
+        # Distributed planning is all-or-nothing per query: parameterized
+        # plans would bake binding-dependent shuffle layouts into the trace,
+        # and runtime subqueries execute outside the shard pipeline, so both
+        # fall back to single-device planning wholesale.
+        if (self.devices > 1 and not self._contains_params
+                and not ir_contains_subqueries(root)):
+            operator_root, sharded = self._plan_distributed(root)
+            if sharded:
+                operator_root = GatherOperator(operator_root, self.devices)
+        else:
+            operator_root = self._plan_node(root)
         params = sorted(self._params.values(), key=lambda spec: spec.position)
         return OperatorPlan(operator_root, self._scans, list(root.fields),
                             params=params,
@@ -344,6 +378,125 @@ class Planner:
                                   attrs["output_fields"])
         raise PlanningError(f"no tensor implementation for IR op {node.op!r}")
 
+    # -- distributed translation ---------------------------------------------
+
+    def _gathered(self, op: TensorOperator, sharded: bool) -> TensorOperator:
+        """Make ``op``'s output a host table, inserting a gather if sharded."""
+        return GatherOperator(op, self.devices) if sharded else op
+
+    def _plan_distributed(self, node: ir.IRNode) -> tuple[TensorOperator, bool]:
+        """Translate one IR node for ``devices > 1`` execution.
+
+        Returns ``(operator, sharded)`` where ``sharded`` says whether the
+        operator emits a per-shard batch (``True``) or an ordinary host table.
+        The sharded region grows from large base-table scans and is closed as
+        late as possible: joins keep it open via shuffle/broadcast, mergeable
+        aggregations close it with a partial-gather-merge, and everything else
+        (sort, limit, small inputs, shard-unsafe expressions) gathers first
+        and reuses the serial operators.
+        """
+        self._collect_expr_metadata(node)
+        attrs = node.attrs
+
+        if node.op == ir.SCAN:
+            if self._estimate_rows(node) >= SHARD_MIN_ROWS:
+                scan: ScanOperator = DistributedScanOperator(
+                    attrs["table"], attrs["alias"], attrs["fields"],
+                    self.devices, self.shard_mode)
+                self._scans.append(scan)
+                return scan, True
+            scan = ScanOperator(attrs["table"], attrs["alias"], attrs["fields"])
+            self._scans.append(scan)
+            return scan, False
+        if node.op == ir.FILTER:
+            child_op, sharded = self._plan_distributed(node.children[0])
+            if sharded and exprs_are_morsel_safe([attrs["condition"]]):
+                return (DistributedFilterOperator(child_op, attrs["condition"],
+                                                  self.devices), True)
+            child_op = self._gathered(child_op, sharded)
+            if not sharded:
+                self._attach_scan_pruning(node.children[0], child_op,
+                                          attrs["condition"])
+            return FilterOperator(child_op, attrs["condition"]), False
+        if node.op == ir.PROJECT:
+            child_op, sharded = self._plan_distributed(node.children[0])
+            if sharded and exprs_are_morsel_safe(attrs["exprs"]):
+                return (DistributedProjectOperator(
+                    child_op, attrs["exprs"], attrs["names"], attrs["types"],
+                    self.devices), True)
+            return (ProjectOperator(self._gathered(child_op, sharded),
+                                    attrs["exprs"], attrs["names"],
+                                    attrs["types"]), False)
+        if node.op == ir.HASH_JOIN:
+            left_op, left_sharded = self._plan_distributed(node.children[0])
+            right_op, right_sharded = self._plan_distributed(node.children[1])
+            join_exprs = [expr for expr in
+                          (list(attrs["left_keys"]) + list(attrs["right_keys"])
+                           + [attrs.get("residual")]) if expr is not None]
+            safe = exprs_are_morsel_safe(join_exprs)
+            if safe and left_sharded and right_sharded:
+                return (ShuffleJoinOperator(
+                    left_op, right_op, attrs["kind"], attrs["left_keys"],
+                    attrs["right_keys"], attrs.get("residual"),
+                    devices=self.devices), True)
+            if safe and left_sharded:
+                # Sharded probe side + replicated build side works for every
+                # join kind: each left row lives on exactly one shard.
+                return (BroadcastJoinOperator(
+                    left_op, right_op, attrs["kind"], attrs["left_keys"],
+                    attrs["right_keys"], attrs.get("residual"),
+                    devices=self.devices, broadcast="right"), True)
+            if safe and right_sharded and attrs["kind"] == "inner":
+                return (BroadcastJoinOperator(
+                    left_op, right_op, attrs["kind"], attrs["left_keys"],
+                    attrs["right_keys"], attrs.get("residual"),
+                    devices=self.devices, broadcast="left"), True)
+            return (HashJoinOperator(self._gathered(left_op, left_sharded),
+                                     self._gathered(right_op, right_sharded),
+                                     attrs["kind"], attrs["left_keys"],
+                                     attrs["right_keys"],
+                                     attrs.get("residual")), False)
+        if node.op == ir.HASH_AGGREGATE:
+            child_op, sharded = self._plan_distributed(node.children[0])
+            agg_exprs = (list(attrs["group_exprs"])
+                         + [a.expr for a in attrs["aggregates"]
+                            if a.expr is not None])
+            if (sharded and aggregates_are_mergeable(attrs["aggregates"])
+                    and exprs_are_morsel_safe(agg_exprs)):
+                return (ShardedAggregateOperator(
+                    child_op, attrs["group_exprs"], attrs["group_names"],
+                    attrs["group_types"], attrs["aggregates"],
+                    devices=self.devices), False)
+            return (HashAggregateOperator(
+                self._gathered(child_op, sharded), attrs["group_exprs"],
+                attrs["group_names"], attrs["group_types"],
+                attrs["aggregates"]), False)
+        if node.op == ir.NESTED_LOOP_JOIN:
+            left_op, left_sharded = self._plan_distributed(node.children[0])
+            right_op, right_sharded = self._plan_distributed(node.children[1])
+            return (NestedLoopJoinOperator(
+                self._gathered(left_op, left_sharded),
+                self._gathered(right_op, right_sharded),
+                attrs["kind"], attrs.get("condition")), False)
+        if node.op == ir.SORT:
+            child_op, sharded = self._plan_distributed(node.children[0])
+            return SortOperator(self._gathered(child_op, sharded),
+                                attrs["keys"]), False
+        if node.op == ir.LIMIT:
+            child_op, sharded = self._plan_distributed(node.children[0])
+            return LimitOperator(self._gathered(child_op, sharded),
+                                 attrs["count"]), False
+        if node.op == ir.DISTINCT:
+            child_op, sharded = self._plan_distributed(node.children[0])
+            return DistinctOperator(self._gathered(child_op, sharded)), False
+        if node.op == ir.RENAME:
+            child_op, sharded = self._plan_distributed(node.children[0])
+            if sharded:
+                return DistributedRenameOperator(
+                    child_op, attrs["output_fields"], self.devices), True
+            return RenameOperator(child_op, attrs["output_fields"]), False
+        raise PlanningError(f"no distributed implementation for IR op {node.op!r}")
+
     # -- zone-map pruning ----------------------------------------------------
 
     def _attach_scan_pruning(self, child_ir: ir.IRNode,
@@ -398,8 +551,10 @@ def plan_ir(root: ir.IRNode, parallelism: int = 1,
             table_rows: Optional[Mapping[str, int]] = None,
             morsel_rows: int = DEFAULT_MORSEL_ROWS,
             use_threads: bool = False,
-            table_stats: Optional[Mapping[str, object]] = None) -> OperatorPlan:
+            table_stats: Optional[Mapping[str, object]] = None,
+            devices: int = 1, shard_mode: str = "hash") -> OperatorPlan:
     """Convenience wrapper: plan an IR tree into an :class:`OperatorPlan`."""
     return Planner(parallelism=parallelism, table_rows=table_rows,
                    morsel_rows=morsel_rows, use_threads=use_threads,
-                   table_stats=table_stats).plan(root)
+                   table_stats=table_stats, devices=devices,
+                   shard_mode=shard_mode).plan(root)

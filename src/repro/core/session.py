@@ -469,7 +469,8 @@ class TQPSession:
                             for name, frame in self._dataframes.items()},
                 use_threads=self.parallel_mode == "threads",
                 table_stats={name: self.catalog.statistics(name)
-                             for name in self._dataframes})
+                             for name in self._dataframes},
+                devices=resolved.devices, shard_mode=resolved.shard)
             executor = Executor(operator_plan, models=dict(self._models),
                                 options=resolved,
                                 scan_stats=self.scan_statistics(operator_plan))
@@ -569,6 +570,7 @@ class TQPSession:
         name (or a different encoding configuration) can never serve stale
         converted columns to a long-lived :class:`CompiledQuery`.
         """
+        from repro.distributed import DistributedScanOperator, shard_table
         from repro.storage.encodings import encode_table
 
         with self._lock:
@@ -578,16 +580,28 @@ class TQPSession:
                 table_key = scan.table.lower()
                 if table_key not in self._dataframes:
                     raise CatalogError(f"no registered table named {scan.table!r}")
+                if isinstance(scan, DistributedScanOperator):
+                    devices, shard_mode = scan.devices, scan.shard_mode
+                else:
+                    devices = shard_mode = None
+                # The table name must stay the key's first element: register()
+                # purges stale conversions by matching ``key[0]``.
                 cache_key = (table_key, tuple(f.name for f in scan.fields),
-                             self._table_versions.get(table_key, 0), encoding_mode)
+                             self._table_versions.get(table_key, 0),
+                             encoding_mode, devices, shard_mode)
                 if cache_key not in self._conversion_cache:
                     frame = self._dataframes[table_key]
                     stats = self.catalog.statistics(table_key)
                     ndv = ({name: column.ndv
                             for name, column in stats.columns.items()}
                            if stats is not None else None)
-                    self._conversion_cache[cache_key] = TensorTable(
+                    converted = TensorTable(
                         encode_table(frame, scan.fields, mode=encoding_mode,
                                      column_ndv=ndv))
+                    if devices is not None:
+                        # Load-time placement: outside any trace/profiler, so
+                        # sharding itself never shows up as query work.
+                        converted = shard_table(converted, devices, shard_mode)
+                    self._conversion_cache[cache_key] = converted
                 inputs[scan.alias] = self._conversion_cache[cache_key]
             return inputs

@@ -1,0 +1,480 @@
+"""Distributed operators: per-shard pipelines with explicit exchanges.
+
+These operators are the multi-device analogue of the morsel-parallel family
+(:mod:`repro.core.operators.parallel`).  Results stay exact — every shard's
+work runs with real kernels, one shard after another inside a
+:func:`~repro.tensor.profiler.shard_scope` annotation — and only *time* is
+simulated: the device cost models replay the shard annotations into
+concurrent per-device timelines and charge every ``shard_exchange`` /
+``shard_broadcast`` / ``shard_gather`` op as an interconnect transfer with
+its real payload bytes.
+
+Data movement is explicit, one identity op per column tensor (plus one per
+validity mask), so the bytes a cost model charges are exactly the bytes the
+plan moves:
+
+* **shuffle** — each source shard re-hashes its join-key values with tensor
+  ops and sends every destination its fragment (``shard_exchange``); equal
+  keys land on the same destination on both sides, so per-destination local
+  joins are globally correct;
+* **broadcast** — a small unsharded build side is replicated to every device
+  (``shard_broadcast``), valid for any join kind when the *probe* side is the
+  sharded one (and for inner joins from either side);
+* **gather** — per-shard results return to the host (``shard_gather``) and
+  concatenate in shard order, so distributed plans are deterministic.
+
+The query-time partition hash is computed from raw key *values* (not the
+load-time placement), entirely inside the traced op vocabulary — no
+``.numpy()`` escapes — so hash- and range-sharded inputs run the same plans
+and produce identical results.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.columnar import LogicalType, TensorColumn, TensorTable
+from repro.core.expressions import (
+    ExprValue,
+    as_mask,
+    decode_value,
+    evaluate,
+    to_column,
+)
+from repro.core.operators.base import ExecutionContext, TensorOperator
+from repro.core.operators.join import HashJoinOperator
+from repro.core.operators.parallel import (
+    ParallelHashAggregateOperator,
+    concat_morsels,
+)
+from repro.core.operators.scan import ScanOperator
+from repro.distributed.sharding import (
+    HASH_MIX,
+    STRING_HASH_BASE,
+    ShardBatch,
+    ShardedTable,
+    string_hash_weights,
+)
+from repro.errors import ExecutionError
+from repro.frontend import ast
+from repro.frontend.logical import Field
+from repro.tensor import Tensor, current_profiler, ops, shard_scope
+
+
+def run_per_shard(devices: int, fn, label: str = "") -> list:
+    """Run ``fn(shard)`` for every shard, inside its shard annotation.
+
+    Shards execute one after another (deterministic, trace- and
+    profile-friendly, like the morsel worker pool); the cost models turn the
+    annotations back into concurrent per-device timelines.
+    """
+    profiler = current_profiler()
+    results = []
+    for shard in range(devices):
+        with shard_scope(shard):
+            if profiler is not None and label:
+                with profiler.scope(f"{label}@d{shard}"):
+                    results.append(fn(shard))
+            else:
+                results.append(fn(shard))
+    return results
+
+
+# -- explicit data movement ---------------------------------------------------
+
+
+def _move_column(column: TensorColumn, move) -> TensorColumn:
+    """Thread a column's per-row tensors through an exchange identity op.
+
+    Auxiliary encoding tensors (dictionaries) are *not* threaded: they were
+    replicated to every device at load time, so only codes ever cross the
+    interconnect — which is precisely the payload the cost models should see.
+    """
+    valid = move(column.valid) if column.valid is not None else None
+    return TensorColumn(move(column.tensor), column.ltype, valid,
+                        column.encoding)
+
+
+def exchange_table(table: TensorTable, src: int, dst: int) -> TensorTable:
+    """Move a fragment from shard ``src`` to shard ``dst`` (peer link)."""
+    return TensorTable({
+        name: _move_column(column, lambda t: ops.shard_exchange(t, src, dst))
+        for name, column in table.columns()
+    })
+
+
+def broadcast_table(table: TensorTable, dst: int) -> TensorTable:
+    """Replicate an unsharded table onto shard ``dst``."""
+    return TensorTable({
+        name: _move_column(column, lambda t: ops.shard_broadcast(t, dst))
+        for name, column in table.columns()
+    })
+
+
+def gather_table(table: TensorTable, src: int) -> TensorTable:
+    """Return shard ``src``'s result to the host."""
+    return TensorTable({
+        name: _move_column(column, lambda t: ops.shard_gather(t, src))
+        for name, column in table.columns()
+    })
+
+
+# -- query-time partition hash ------------------------------------------------
+
+
+def _hash_expr_value(value: ExprValue) -> Tensor:
+    """A ``(n,)`` int64 hash of raw key values, built from tensor ops only.
+
+    Integer/date/bool keys cast to int64; floats truncate (equal values stay
+    equal, which is all partitioning needs).  Strings hash their code-point
+    matrix with pad-invariant polynomial weights via one int64 ``matmul``.
+    NULL keys hash to 0 — they all land on one destination, where the join
+    machinery refuses to match them exactly as it does on a single device.
+    """
+    value = decode_value(value)
+    data = value.tensor
+    if value.ltype == LogicalType.STRING:
+        width = data.shape[-1] if data.ndim == 2 else 1
+        weights = ops.tensor(string_hash_weights(width), dtype="int64",
+                             device=data.device)
+        hashed = ops.matmul(ops.cast(data, "int64"), weights)
+    else:
+        hashed = ops.cast(data, "int64")
+    if value.valid is not None:
+        hashed = ops.where(value.valid, hashed, 0)
+    return hashed
+
+
+def partition_ids(table: TensorTable, keys: list[ast.Expr],
+                  ctx: ExecutionContext, devices: int) -> Tensor:
+    """Destination shard per row: multi-key polynomial combine, multiplicative
+    mix, then the *high* bits modulo ``devices`` (low bits alone would leave
+    power-of-two device counts keyed by the raw low bits)."""
+    hashed = None
+    for key in keys:
+        part = _hash_expr_value(evaluate(key, table, ctx.eval_ctx))
+        hashed = part if hashed is None else ops.add(
+            ops.mul(hashed, STRING_HASH_BASE), part)
+    if hashed is None:
+        raise ExecutionError("shuffle requires at least one join key")
+    return ops.mod(ops.floordiv(ops.mul(hashed, HASH_MIX), 1 << 32), devices)
+
+
+# -- operators ----------------------------------------------------------------
+
+
+class DistributedScanOperator(ScanOperator):
+    """Leaf of a distributed plan: emit the pre-sharded input, per device.
+
+    Input preparation (the executor/session) shards the converted table
+    according to ``devices``/``shard_mode`` — by the time the plan runs, the
+    placement is data layout, and the scan just selects each shard's columns
+    inside that shard's annotation.  Zone-map pruning does not apply: the
+    statistics describe the unsharded table, and a sharded scan's parallelism
+    already comes from the placement.
+    """
+
+    name = "DistributedScan"
+
+    traced_dynamic_pruning = False
+
+    def __init__(self, table: str, alias: str, fields: list[Field],
+                 devices: int, shard_mode: str = "hash"):
+        super().__init__(table, alias, fields)
+        self.devices = devices
+        self.shard_mode = shard_mode
+
+    def describe(self) -> str:
+        return (f"DistributedScan({self.table}, devices={self.devices}, "
+                f"{self.shard_mode})")
+
+    def _execute(self, ctx: ExecutionContext) -> ShardBatch:
+        sharded = ctx.input_table(self.alias)
+        if not isinstance(sharded, ShardedTable):
+            raise ExecutionError(
+                f"scan {self.alias!r} expected a sharded input table; input "
+                "preparation must shard tables read by a DistributedScan")
+        if sharded.spec.devices != self.devices:
+            raise ExecutionError(
+                f"scan {self.alias!r} planned for {self.devices} devices but "
+                f"the input is sharded {sharded.spec.devices} ways")
+        names = [field.name for field in self.fields]
+
+        def scan_shard(shard: int) -> TensorTable:
+            table = sharded.shards[shard]
+            missing = [name for name in names if name not in table]
+            if missing:
+                raise ExecutionError(
+                    f"input table for {self.alias!r} is missing columns "
+                    f"{missing}")
+            return self._materialize_rle(table.select(names))
+
+        return ShardBatch(run_per_shard(self.devices, scan_shard,
+                                        self.describe()))
+
+
+class DistributedFilterOperator(TensorOperator):
+    """Filter evaluated independently on every shard (no data movement)."""
+
+    name = "DistributedFilter"
+
+    def __init__(self, child: TensorOperator, condition: ast.Expr,
+                 devices: int):
+        super().__init__([child])
+        self.condition = condition
+        self.devices = devices
+
+    def describe(self) -> str:
+        return f"DistributedFilter(devices={self.devices})"
+
+    def _execute(self, ctx: ExecutionContext) -> ShardBatch:
+        batch = self.children[0].execute(ctx)
+
+        def filter_shard(shard: int) -> TensorTable:
+            sub = batch.shards[shard]
+            value = evaluate(self.condition, sub, ctx.eval_ctx)
+            return sub.mask(as_mask(value, sub.num_rows, like=sub.anchor))
+
+        return ShardBatch(run_per_shard(self.devices, filter_shard,
+                                        self.describe()))
+
+
+class DistributedProjectOperator(TensorOperator):
+    """Projection computed independently on every shard (no data movement)."""
+
+    name = "DistributedProject"
+
+    def __init__(self, child: TensorOperator, exprs: list[ast.Expr],
+                 names: list[str], types: list[LogicalType], devices: int):
+        super().__init__([child])
+        self.exprs = exprs
+        self.names = names
+        self.types = types
+        self.devices = devices
+
+    def describe(self) -> str:
+        return f"DistributedProject({len(self.exprs)} cols, devices={self.devices})"
+
+    def _execute(self, ctx: ExecutionContext) -> ShardBatch:
+        batch = self.children[0].execute(ctx)
+
+        def project_shard(shard: int) -> TensorTable:
+            sub = batch.shards[shard]
+            columns = {}
+            for expr, name in zip(self.exprs, self.names):
+                value = evaluate(expr, sub, ctx.eval_ctx)
+                columns[name] = to_column(value, sub.num_rows, like=sub.anchor)
+            return TensorTable(columns)
+
+        return ShardBatch(run_per_shard(self.devices, project_shard,
+                                        self.describe()))
+
+
+class DistributedRenameOperator(TensorOperator):
+    """Positional rename applied per shard (pure metadata, no kernels).
+
+    Derived-table aliases (``FROM (SELECT ...) f``) lower to a RENAME node;
+    keeping it inside the sharded region lets subqueries feed shuffle joins
+    without a gather in between.
+    """
+
+    name = "DistributedRename"
+
+    def __init__(self, child: TensorOperator, output_fields: list[Field],
+                 devices: int):
+        super().__init__([child])
+        self.output_fields = output_fields
+        self.devices = devices
+
+    def describe(self) -> str:
+        return f"DistributedRename(devices={self.devices})"
+
+    def _execute(self, ctx: ExecutionContext) -> ShardBatch:
+        batch = self.children[0].execute(ctx)
+
+        def rename_shard(shard: int) -> TensorTable:
+            sub = batch.shards[shard]
+            names = sub.column_names
+            if len(names) != len(self.output_fields):
+                raise ExecutionError(
+                    "rename arity mismatch: "
+                    f"{len(names)} input columns vs "
+                    f"{len(self.output_fields)} output fields")
+            return TensorTable({
+                field.name: sub.column(name)
+                for name, field in zip(names, self.output_fields)
+            })
+
+        return ShardBatch(run_per_shard(self.devices, rename_shard))
+
+
+class ShuffleJoinOperator(HashJoinOperator):
+    """Equi-join of two sharded inputs via hash co-partitioning.
+
+    Phase 1 (per *source* shard): evaluate the join keys, hash them into a
+    destination id per row, cut one fragment per destination with a boolean
+    mask, and send every non-local fragment through ``shard_exchange``.
+    Phase 2 (per *destination* shard): concatenate the arriving fragments and
+    run the ordinary serial join tail (densify → match → finish) locally.
+
+    Correct for every supported kind: the left side is partitioned by key, so
+    each left row reaches exactly one destination, and equal keys from both
+    sides meet there — semi/anti/left-outer decisions are local.
+    """
+
+    name = "ShuffleJoin"
+
+    def __init__(self, left: TensorOperator, right: TensorOperator, kind: str,
+                 left_keys: list[ast.Expr], right_keys: list[ast.Expr],
+                 residual: Optional[ast.Expr] = None, *, devices: int):
+        super().__init__(left, right, kind, left_keys, right_keys, residual)
+        self.devices = devices
+
+    def describe(self) -> str:
+        return f"ShuffleJoin[{self.kind}](devices={self.devices})"
+
+    def _fragments(self, table: TensorTable, keys: list[ast.Expr],
+                   ctx: ExecutionContext, src: int) -> list[TensorTable]:
+        part = partition_ids(table, keys, ctx, self.devices)
+        fragments = []
+        for dst in range(self.devices):
+            fragment = table.mask(ops.eq(part, dst))
+            fragments.append(fragment if dst == src
+                             else exchange_table(fragment, src, dst))
+        return fragments
+
+    def _execute(self, ctx: ExecutionContext) -> ShardBatch:
+        left_batch = self.children[0].execute(ctx)
+        right_batch = self.children[1].execute(ctx)
+
+        def scatter(shard: int):
+            return (self._fragments(left_batch.shards[shard], self.left_keys,
+                                    ctx, shard),
+                    self._fragments(right_batch.shards[shard], self.right_keys,
+                                    ctx, shard))
+
+        scattered = run_per_shard(self.devices, scatter,
+                                  f"{self.describe()}:shuffle")
+
+        def join_shard(shard: int) -> TensorTable:
+            left_local = concat_morsels(
+                [left_frags[shard] for left_frags, _ in scattered])
+            right_local = concat_morsels(
+                [right_frags[shard] for _, right_frags in scattered])
+            left_ids, right_ids = self._key_ids(left_local, right_local, ctx)
+            need_pairs = not (self.kind in ("semi", "anti")
+                              and self.residual is None)
+            counts, pairs = HashJoinOperator._match_pairs(
+                self, left_ids, right_ids, need_pairs)
+            return self._finish(left_local, right_local, counts, pairs, ctx)
+
+        return ShardBatch(run_per_shard(self.devices, join_shard,
+                                        self.describe()))
+
+
+class BroadcastJoinOperator(HashJoinOperator):
+    """Equi-join where one small unsharded side is replicated to every shard.
+
+    ``broadcast="right"`` (sharded probe side) is valid for every join kind:
+    each left row lives on exactly one shard and sees the complete right
+    side there.  ``broadcast="left"`` is inner-only — a broadcast left row
+    would match (or survive) once per shard under any other kind.
+    """
+
+    name = "BroadcastJoin"
+
+    def __init__(self, left: TensorOperator, right: TensorOperator, kind: str,
+                 left_keys: list[ast.Expr], right_keys: list[ast.Expr],
+                 residual: Optional[ast.Expr] = None, *, devices: int,
+                 broadcast: str = "right"):
+        super().__init__(left, right, kind, left_keys, right_keys, residual)
+        if broadcast not in ("left", "right"):
+            raise ExecutionError(f"unknown broadcast side {broadcast!r}")
+        if broadcast == "left" and kind != "inner":
+            raise ExecutionError(
+                "broadcasting the left side is only sound for inner joins")
+        self.devices = devices
+        self.broadcast = broadcast
+
+    def describe(self) -> str:
+        return (f"BroadcastJoin[{self.kind}]"
+                f"(devices={self.devices}, broadcast={self.broadcast})")
+
+    def _local_join(self, left_table: TensorTable, right_table: TensorTable,
+                    ctx: ExecutionContext) -> TensorTable:
+        left_ids, right_ids = self._key_ids(left_table, right_table, ctx)
+        need_pairs = not (self.kind in ("semi", "anti")
+                          and self.residual is None)
+        counts, pairs = HashJoinOperator._match_pairs(
+            self, left_ids, right_ids, need_pairs)
+        return self._finish(left_table, right_table, counts, pairs, ctx)
+
+    def _execute(self, ctx: ExecutionContext) -> ShardBatch:
+        if self.broadcast == "right":
+            batch = self.children[0].execute(ctx)
+            build = self.children[1].execute(ctx)
+
+            def join_shard(shard: int) -> TensorTable:
+                return self._local_join(batch.shards[shard],
+                                        broadcast_table(build, shard), ctx)
+        else:
+            build = self.children[0].execute(ctx)
+            batch = self.children[1].execute(ctx)
+
+            def join_shard(shard: int) -> TensorTable:
+                return self._local_join(broadcast_table(build, shard),
+                                        batch.shards[shard], ctx)
+
+        return ShardBatch(run_per_shard(self.devices, join_shard,
+                                        self.describe()))
+
+
+class ShardedAggregateOperator(ParallelHashAggregateOperator):
+    """Partial-then-merge aggregation across shards.
+
+    Each shard computes the same partial-aggregate table the morsel-parallel
+    operator computes per morsel (a few rows per group); only those partials
+    cross the interconnect (``shard_gather``) — the classic reason two-phase
+    aggregation is the backbone of every distributed engine.  The merge runs
+    on the host, so the operator's output is an ordinary unsharded table.
+    """
+
+    name = "ShardedAggregate"
+
+    def __init__(self, child, group_exprs, group_names, group_types,
+                 aggregates, *, devices: int):
+        super().__init__(child, group_exprs, group_names, group_types,
+                         aggregates, parallelism=1)
+        self.devices = devices
+
+    def describe(self) -> str:
+        return (f"ShardedAggregate(groups={len(self.group_exprs)}, "
+                f"devices={self.devices})")
+
+    def _execute(self, ctx: ExecutionContext) -> TensorTable:
+        batch = self.children[0].execute(ctx)
+        partials = run_per_shard(
+            self.devices,
+            lambda shard: self._partial_table(batch.shards[shard], ctx),
+            self.describe())
+        gathered = [gather_table(partial, shard)
+                    for shard, partial in enumerate(partials)]
+        return self._merge_partials(concat_morsels(gathered), ctx)
+
+
+class GatherOperator(TensorOperator):
+    """Collect per-shard results back to the host, in shard order."""
+
+    name = "Gather"
+
+    def __init__(self, child: TensorOperator, devices: int):
+        super().__init__([child])
+        self.devices = devices
+
+    def describe(self) -> str:
+        return f"Gather(devices={self.devices})"
+
+    def _execute(self, ctx: ExecutionContext) -> TensorTable:
+        batch = self.children[0].execute(ctx)
+        return concat_morsels([gather_table(table, shard)
+                               for shard, table in enumerate(batch.shards)])

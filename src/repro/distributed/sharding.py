@@ -1,0 +1,196 @@
+"""Sharded tables: spreading a :class:`TensorTable` across simulated devices.
+
+A :class:`ShardedTable` is the multi-device form of a converted input table:
+one :class:`~repro.core.columnar.TensorTable` per simulated device, plus the
+:class:`ShardSpec` describing how rows were placed.  Sharding happens at
+load time (input preparation), outside any trace or profiler — the placement
+itself is data layout, not query work — so a traced program simply receives
+each shard's columns as separate named inputs.
+
+Two placement strategies, mirroring the options on
+:class:`~repro.core.options.ExecutionOptions`:
+
+* ``hash`` — rows are spread by a multiplicative hash of the table's first
+  scanned column, so equal keys land on the same device (the layout a
+  distributed engine keeps its fact tables in);
+* ``range`` — contiguous row ranges, one zero-copy slice per device (the
+  layout of time-partitioned append-only data).
+
+Query-time repartitioning (the shuffle) never relies on the load-time
+placement: the exchange operators re-hash by the *join* keys with tensor ops
+(see :mod:`repro.distributed.operators`), so both placements produce
+identical results for every plan.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.columnar import DEFAULT_MORSEL_ROWS, TensorTable
+from repro.errors import ExecutionError
+from repro.tensor import ops
+
+#: Minimum base-table cardinality for the planner to shard its scan — below
+#: this, per-shard kernel overhead and the final gather outweigh any
+#: multi-device parallelism (the same reasoning as the morsel threshold).
+SHARD_MIN_ROWS = DEFAULT_MORSEL_ROWS
+
+#: 64-bit multiplicative-hash constant (2^64 / golden ratio), wrapped to a
+#: signed int64 so numpy's wrapping multiply reproduces the unsigned mix.
+HASH_MIX = 0x9E3779B97F4A7C15 - (1 << 64)
+
+#: Polynomial base for hashing string code-point matrices column by column.
+STRING_HASH_BASE = 1000003
+
+
+def _wrap64(value: int) -> int:
+    """A python int reduced to the signed-int64 value numpy would wrap it to."""
+    value &= (1 << 64) - 1
+    return value - (1 << 64) if value >= (1 << 63) else value
+
+
+def string_hash_weights(width: int) -> list[int]:
+    """Per-character-position polynomial weights, pre-wrapped to int64.
+
+    Position ``j`` weighs ``STRING_HASH_BASE ** j (mod 2^64)``; padding
+    code points are 0, so equal strings stored at different widths hash
+    equal (pad-invariance is what lets the two sides of a join hash their
+    keys independently).
+    """
+    return [_wrap64(pow(STRING_HASH_BASE, j, 1 << 64)) for j in range(max(width, 1))]
+
+
+@dataclasses.dataclass(frozen=True)
+class ShardSpec:
+    """How a table's rows are placed across simulated devices."""
+
+    mode: str
+    devices: int
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("hash", "range"):
+            raise ExecutionError(f"unknown shard mode {self.mode!r}")
+        if self.devices < 1:
+            raise ExecutionError("shard spec needs devices >= 1")
+
+
+class ShardedTable:
+    """One :class:`TensorTable` per simulated device, plus the placement spec.
+
+    Quacks like a TensorTable just enough for the executor's input plumbing
+    (``to``/``select``/``__contains__``); per-row operations live on the
+    individual shards, which the distributed operators address directly.
+    """
+
+    def __init__(self, shards: list[TensorTable], spec: ShardSpec):
+        if len(shards) != spec.devices:
+            raise ExecutionError(
+                f"shard spec expects {spec.devices} shards, got {len(shards)}")
+        self.shards = list(shards)
+        self.spec = spec
+
+    @property
+    def num_rows(self) -> int:
+        return sum(shard.num_rows for shard in self.shards)
+
+    @property
+    def column_names(self) -> list[str]:
+        return self.shards[0].column_names
+
+    @property
+    def device(self):
+        return self.shards[0].device
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.shards[0]
+
+    def select(self, names) -> "ShardedTable":
+        return ShardedTable([shard.select(names) for shard in self.shards],
+                            self.spec)
+
+    def to(self, device) -> "ShardedTable":
+        return ShardedTable([shard.to(device) for shard in self.shards],
+                            self.spec)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        rows = ", ".join(str(shard.num_rows) for shard in self.shards)
+        return f"ShardedTable({self.spec.mode}, rows=[{rows}])"
+
+
+class ShardBatch:
+    """Per-shard intermediate results flowing between distributed operators.
+
+    The distributed operators produce one :class:`TensorTable` per device and
+    hand the list to their parent; a :class:`GatherOperator` (or a merging
+    aggregate) turns the batch back into a single host table.
+    """
+
+    def __init__(self, shards: list[TensorTable]):
+        self.shards = list(shards)
+
+    @property
+    def num_rows(self) -> int:
+        return sum(shard.num_rows for shard in self.shards)
+
+
+def _hash_rows(table: TensorTable, key_column: str) -> np.ndarray:
+    """Load-time row hash (numpy-side; no trace or profile is active here)."""
+    column = table.column(key_column).decoded()
+    data = column.tensor.numpy()
+    if data.ndim == 2:  # string code-point matrix → pad-invariant polynomial
+        weights = np.array(string_hash_weights(data.shape[1] or 1),
+                           dtype=np.int64)
+        if data.shape[1] == 0:
+            hashed = np.zeros(data.shape[0], dtype=np.int64)
+        else:
+            hashed = (data.astype(np.int64) * weights[None, :]).sum(
+                axis=1, dtype=np.int64)
+    else:
+        hashed = data.astype(np.int64)
+    if column.valid is not None:
+        # NULL keys all land on shard 0 — like the tensor-side partition
+        # hash, which never lets NULLs match anything anyway.
+        hashed = np.where(column.valid.numpy(), hashed, 0)
+    return hashed
+
+
+def shard_bounds(num_rows: int, devices: int) -> list[tuple[int, int]]:
+    """Contiguous (start, length) ranges splitting ``num_rows`` evenly."""
+    base, extra = divmod(num_rows, devices)
+    bounds = []
+    start = 0
+    for index in range(devices):
+        length = base + (1 if index < extra else 0)
+        bounds.append((start, length))
+        start += length
+    return bounds
+
+
+def shard_table(table: TensorTable, devices: int, mode: str = "hash",
+                key_column: str | None = None) -> ShardedTable:
+    """Place a converted table's rows across ``devices`` simulated devices.
+
+    ``hash`` spreads rows by a multiplicative hash of ``key_column`` (default:
+    the table's first column); ``range`` cuts contiguous zero-copy slices.
+    Dictionary-encoded columns keep their dictionary *shared* across shards —
+    the dictionary is replicated to every device at load time, so query-time
+    exchanges only ever move the codes.
+    """
+    spec = ShardSpec(mode, devices)
+    if devices == 1:
+        return ShardedTable([table], spec)
+    if mode == "range":
+        shards = [table.slice(start, length)
+                  for start, length in shard_bounds(table.num_rows, devices)]
+        return ShardedTable(shards, spec)
+    key = key_column or table.column_names[0]
+    hashed = _hash_rows(table, key)
+    # Multiplicative mix, then take high bits: ``hash * K mod N`` alone would
+    # leave the low bits of the key untouched for power-of-two device counts.
+    mixed = (hashed * np.int64(HASH_MIX)) >> np.int64(32)
+    assignment = np.mod(mixed, devices)
+    shards = [table.mask(ops.tensor(assignment == index))
+              for index in range(devices)]
+    return ShardedTable(shards, spec)

@@ -29,7 +29,9 @@ from repro.tensor.profiler import (
     Profiler,
     current_lane,
     current_profiler,
+    current_shard,
     lane_scope,
+    shard_scope,
 )
 from repro.tensor.script import ScriptedProgram, script_trace
 from repro.tensor.tensor import Tensor, as_tensor
@@ -58,8 +60,10 @@ __all__ = [
     "by_name",
     "current_lane",
     "current_profiler",
+    "current_shard",
     "current_trace",
     "lane_scope",
+    "shard_scope",
     "float32",
     "float64",
     "from_numpy",

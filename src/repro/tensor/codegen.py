@@ -184,6 +184,7 @@ class _Emitter:
         in_bytes = " + ".join(f"{ref}.nbytes" for ref in in_refs) or "0"
         out_bytes = " + ".join(f"{name}.nbytes" for name in unpack)
         lane = op_semantics.node_lane(attrs)
+        shard = op_semantics.node_shard(attrs)
         lines.append("    _t = _pc()")
         for stmt in body:
             lines.append(f"    {stmt}")
@@ -192,7 +193,7 @@ class _Emitter:
             lines.append(f"    {name} = _asarray({res})")
         lines.append(
             f"    _events.append(_EV({op!r}, _el, {in_bytes}, {out_bytes}, "
-            f"dev_str, _pc() - _t0, _scope(), {lane!r}))")
+            f"dev_str, _pc() - _t0, _scope(), {lane!r}, {shard!r}))")
 
     def _unrolled_fused(self, index: int, node: dict, in_refs: list[str],
                         attrs: dict) -> tuple[list[str], list[str]]:
@@ -241,9 +242,10 @@ class _Emitter:
             lines.append(f"    {out_ref} = {in_ref}")
             return
         lane = op_semantics.node_lane(attrs)
+        shard = op_semantics.node_shard(attrs)
         event = (f"_events.append(_EV('to_device', _pc() - _t, {in_ref}.nbytes, "
                  f"{out_ref}.nbytes, {str(target)!r}, _pc() - _t0, _scope(), "
-                 f"{lane!r}))")
+                 f"{lane!r}, {shard!r}))")
         if src_dev is not None and op_semantics.transfer_is_noop(src_dev, target):
             lines.append(f"    {out_ref} = {in_ref}")
             return

@@ -18,8 +18,29 @@ from repro.errors import GraphError
 from repro.tensor import op_semantics, ops
 from repro.tensor.device import Device, parse_device
 from repro.tensor.graph import Graph
-from repro.tensor.profiler import lane_scope
+from repro.tensor.profiler import lane_scope, shard_scope
 from repro.tensor.tensor import Tensor
+
+
+class _replay_scopes:
+    """Re-enter the lane/shard scopes a node was traced under (either may be
+    ``None``), composing :class:`shard_scope` around :class:`lane_scope`."""
+
+    def __init__(self, lane: "int | None", shard: "int | None"):
+        self._guards = []
+        if shard is not None:
+            self._guards.append(shard_scope(shard))
+        if lane is not None:
+            self._guards.append(lane_scope(lane))
+
+    def __enter__(self) -> "_replay_scopes":
+        for guard in self._guards:
+            guard.__enter__()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        for guard in reversed(self._guards):
+            guard.__exit__(*exc_info)
 
 
 class GraphInterpreter:
@@ -61,14 +82,15 @@ class GraphInterpreter:
                     env[node.outputs[0]] = node_inputs[0]
                     continue
             lane = op_semantics.node_lane(node.attrs)
-            if lane is None:
+            shard = op_semantics.node_shard(node.attrs)
+            if lane is None and shard is None:
                 outputs = ops.execute_op(node.op, node_inputs, node.attrs, node_device)
             else:
-                # Nodes traced inside a morsel-parallel region carry the worker
-                # lane they ran on; re-entering the lane while replaying keeps
-                # the profile (and therefore the simulated-device cost models)
-                # aware of the parallel structure.
-                with lane_scope(lane):
+                # Nodes traced inside a morsel-parallel or sharded region carry
+                # the worker lane / device shard they ran on; re-entering those
+                # scopes while replaying keeps the profile (and therefore the
+                # simulated-device cost models) aware of the structure.
+                with _replay_scopes(lane, shard):
                     outputs = ops.execute_op(node.op, node_inputs, node.attrs,
                                              node_device)
             if self.per_node_overhead_s:

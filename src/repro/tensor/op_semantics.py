@@ -102,6 +102,30 @@ def node_lane(attrs: dict) -> "int | None":
     return attrs.get("lane")
 
 
+def node_shard(attrs: dict) -> "int | None":
+    """The device shard a node was traced on (``None`` = host/unsharded).
+
+    Exactly parallel to :func:`node_lane`: the interpreter re-enters the shard
+    via :class:`~repro.tensor.profiler.shard_scope`, the codegen executor
+    stamps it onto its events, and the device cost models use it to overlap
+    per-shard compute across simulated devices.
+    """
+    return attrs.get("shard")
+
+
+#: Zero-copy identity ops whose traced nodes carry the interconnect payload
+#: accounting of distributed plans (see ``repro.tensor.ops``).  Cost models
+#: charge their ``output_bytes`` against an interconnect tier (NVLink-style
+#: for shard<->shard exchange/broadcast, PCIe-style for the final gather to
+#: the host) and exclude their pass-through elapsed time from kernel cost.
+EXCHANGE_OPS = frozenset({"shard_exchange", "shard_broadcast", "shard_gather"})
+
+#: The exchange op that crosses the host boundary (shard results returning
+#: from a device): cost models charge it on the host-link tier (PCIe-style)
+#: rather than the peer-to-peer tier the other exchanges ride.
+GATHER_OP = "shard_gather"
+
+
 #: The fused-elementwise op: its attrs carry a local-SSA sub-program (see
 #: ``passes.fuse_elementwise``).  The interpreter dispatches it as one kernel
 #: that loops the steps; the codegen executor unrolls the same steps into

@@ -19,8 +19,11 @@ from repro.tensor.tensor import Tensor
 _CREATION_OPS = {"zeros", "full", "arange"}
 
 # Ops that must never be folded/merged because their semantics depend on the
-# execution environment rather than only on input values.
-_IMPURE_OPS = {"to_device", "morsel_dispatch"}
+# execution environment rather than only on input values.  The shard-exchange
+# identities are here so constant folding/CSE/fusion cannot collapse the
+# interconnect-transfer accounting distributed cost models charge per event.
+_IMPURE_OPS = {"to_device", "morsel_dispatch",
+               "shard_exchange", "shard_broadcast", "shard_gather"}
 
 # Ops kept alive even when their outputs are unused: they exist for their
 # accounting side effect (a morsel dispatch event the parallel cost models
@@ -253,10 +256,14 @@ def _build_fused_node(group: list[Node], external_used: set[int]) -> Node:
         "label": "+".join(node.op for node in group),
     }
     # A chain fused entirely inside one morsel keeps its worker-lane stamp so
-    # the parallel cost models still attribute the fused launch to that lane.
+    # the parallel cost models still attribute the fused launch to that lane;
+    # likewise a chain fused inside one device shard keeps its shard stamp.
     lanes = {node.attrs.get("lane") for node in group}
     if len(lanes) == 1 and None not in lanes:
         attrs["lane"] = lanes.pop()
+    shards = {node.attrs.get("shard") for node in group}
+    if len(shards) == 1 and None not in shards:
+        attrs["shard"] = shards.pop()
     return Node("fused_kernel", ext_inputs, exposed, attrs)
 
 
@@ -325,9 +332,12 @@ def fuse_elementwise(graph: Graph, min_group_size: int = 2) -> Graph:
     current: list[Node] = []
     for node in graph.nodes:
         if _is_fusible(node):
-            # Never fuse across worker lanes: a fused kernel is one launch, and
-            # one launch cannot run on two morsel workers at once.
-            if current and current[-1].attrs.get("lane") != node.attrs.get("lane"):
+            # Never fuse across worker lanes or device shards: a fused kernel
+            # is one launch, and one launch cannot run on two morsel workers
+            # (or two simulated devices) at once.
+            if current and (
+                    current[-1].attrs.get("lane") != node.attrs.get("lane")
+                    or current[-1].attrs.get("shard") != node.attrs.get("shard")):
                 runs.append(current)
                 current = []
             current.append(node)

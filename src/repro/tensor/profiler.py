@@ -48,7 +48,8 @@ def capture_scope() -> "ProfileScope":
     query runs on the caller thread or a pool thread.
     """
     return ProfileScope(list(getattr(_STATE, "stack", None) or ()),
-                        list(getattr(_STATE, "lanes", None) or ()))
+                        list(getattr(_STATE, "lanes", None) or ()),
+                        list(getattr(_STATE, "shards", None) or ()))
 
 
 class ProfileScope:
@@ -60,28 +61,33 @@ class ProfileScope:
     Re-entrant and usable from several threads at once.
     """
 
-    def __init__(self, stack: "list[Profiler]", lanes: "list[int]"):
+    def __init__(self, stack: "list[Profiler]", lanes: "list[int]",
+                 shards: "list[int] | None" = None):
         self._stack = stack
         self._lanes = lanes
+        self._shards = shards or []
 
     @property
     def is_empty(self) -> bool:
         """True when no profiler was active at capture time."""
-        return not self._stack and not self._lanes
+        return not self._stack and not self._lanes and not self._shards
 
     def __enter__(self) -> "ProfileScope":
         saved = (getattr(_STATE, "stack", None) or [],
-                 getattr(_STATE, "lanes", None) or [])
+                 getattr(_STATE, "lanes", None) or [],
+                 getattr(_STATE, "shards", None) or [])
         if not hasattr(_STATE, "saved"):
             _STATE.saved = []
         _STATE.saved.append(saved)
         _STATE.stack = saved[0] + self._stack
         _STATE.lanes = saved[1] + self._lanes
+        _STATE.shards = saved[2] + self._shards
         return self
 
     def __exit__(self, *exc_info) -> None:
-        saved = _STATE.saved.pop() if getattr(_STATE, "saved", None) else ([], [])
-        _STATE.stack, _STATE.lanes = saved
+        saved = _STATE.saved.pop() if getattr(_STATE, "saved", None) \
+            else ([], [], [])
+        _STATE.stack, _STATE.lanes, _STATE.shards = saved
 
 
 # -- worker-lane annotation ---------------------------------------------------
@@ -122,6 +128,44 @@ class lane_scope:
             lanes.pop()
 
 
+# -- device-shard annotation --------------------------------------------------
+#
+# The distributed operators (``repro.distributed``) execute one table shard at
+# a time on a simulated device.  While a shard scope is active every recorded
+# op event carries its shard id and every traced graph node is stamped with a
+# ``shard`` attribute — the per-device analogue of worker lanes: the cost
+# models reconstruct per-device timelines (and charge interconnect transfers
+# between them) from a single-threaded run.
+
+
+def current_shard() -> "int | None":
+    """The active device-shard id, or ``None`` outside any sharded region."""
+    shards = getattr(_STATE, "shards", None)
+    if not shards:
+        return None
+    return shards[-1]
+
+
+class shard_scope:
+    """Context manager marking ops executed inside it as per-shard work."""
+
+    def __init__(self, shard: int):
+        self.shard = shard
+
+    def __enter__(self) -> "shard_scope":
+        shards = getattr(_STATE, "shards", None)
+        if shards is None:
+            shards = []
+            _STATE.shards = shards
+        shards.append(self.shard)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        shards = getattr(_STATE, "shards", [])
+        if shards:
+            shards.pop()
+
+
 @dataclasses.dataclass
 class OpEvent:
     """One executed op."""
@@ -135,6 +179,8 @@ class OpEvent:
     scope: str = ""
     #: Simulated worker lane the op ran on (``None`` = serial region).
     lane: "int | None" = None
+    #: Simulated device shard the op ran on (``None`` = host/unsharded).
+    shard: "int | None" = None
 
     @property
     def total_bytes(self) -> int:
@@ -181,6 +227,7 @@ class Profiler:
             timestamp_s=time.perf_counter() - self._start,
             scope=self._scopes[-1] if self._scopes else "",
             lane=current_lane(),
+            shard=current_shard(),
         )
         with self._record_lock:
             self.events.append(event)

@@ -38,6 +38,17 @@ EXECUTOR_MODULES = (
     REPO_ROOT / "src" / "repro" / "tensor" / "codegen.py",
 )
 
+#: Cost-model modules that classify exchange ops for interconnect charging.
+#: They must consume ``op_semantics.EXCHANGE_OPS`` / ``GATHER_OP`` rather
+#: than spell shard-op names, so adding an exchange variant cannot silently
+#: leave a backend charging it as a kernel.
+COST_MODEL_MODULES = (
+    REPO_ROOT / "src" / "repro" / "backends" / "base.py",
+    REPO_ROOT / "src" / "repro" / "backends" / "cpu.py",
+    REPO_ROOT / "src" / "repro" / "backends" / "gpu_sim.py",
+    REPO_ROOT / "src" / "repro" / "backends" / "wasm_sim.py",
+)
+
 #: Op names whose special-case handling is allowed to appear by name in the
 #: executors: their rules (transfer forwarding, fused-step unrolling) are
 #: defined once in op_semantics and the executors merely reference them.
@@ -51,6 +62,46 @@ def check_registry_coverage(problems: list[str]) -> None:
             problems.append(
                 f"op {op!r} is registered but not executable by both "
                 f"executors: {reason}")
+
+
+def check_exchange_ops(problems: list[str]) -> None:
+    """The distributed exchange ops are ordinary registry ops.
+
+    Both executors must be able to run them (a distributed trace replays on
+    the interpreter *and* the codegen executor — codegen has no special case
+    to fall back on, so registry membership is the whole portability story),
+    and the profiler's event record must carry the shard attribution the
+    cost models split timelines by.
+    """
+    for op in sorted(op_semantics.EXCHANGE_OPS):
+        if op not in ops.OP_REGISTRY:
+            problems.append(f"exchange op {op!r} is missing from OP_REGISTRY")
+            continue
+        reason = op_semantics.op_unsupported_reason(op)
+        if reason is not None:
+            problems.append(f"exchange op {op!r} is not executable by both "
+                            f"executors: {reason}")
+    if op_semantics.GATHER_OP not in op_semantics.EXCHANGE_OPS:
+        problems.append("GATHER_OP must be one of EXCHANGE_OPS")
+    from repro.tensor.profiler import OpEvent
+    import dataclasses as _dc
+
+    fields = {field.name for field in _dc.fields(OpEvent)}
+    if "shard" not in fields or "lane" not in fields:
+        problems.append("OpEvent must carry lane and shard attribution for "
+                        "the cost models' timeline splits")
+
+
+def check_cost_model(path: pathlib.Path, problems: list[str]) -> None:
+    rel = path.relative_to(REPO_ROOT)
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(rel))
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Constant) and isinstance(node.value, str)
+                and node.value in op_semantics.EXCHANGE_OPS):
+            problems.append(
+                f"{rel}:{node.lineno}: hard-coded exchange op name "
+                f"{node.value!r} — classify via op_semantics.EXCHANGE_OPS / "
+                f"GATHER_OP")
 
 
 def check_module(path: pathlib.Path, problems: list[str]) -> None:
@@ -88,8 +139,11 @@ def check_module(path: pathlib.Path, problems: list[str]) -> None:
 def main() -> int:
     problems: list[str] = []
     check_registry_coverage(problems)
+    check_exchange_ops(problems)
     for path in EXECUTOR_MODULES:
         check_module(path, problems)
+    for path in COST_MODEL_MODULES:
+        check_cost_model(path, problems)
     if problems:
         print("op-registry lint FAILED:")
         for problem in problems:
