@@ -1,0 +1,145 @@
+"""Learned strategy cost model: plan features → predicted simulated cost.
+
+The paper's signature move — compile database workloads onto the ML stack —
+pointed inward: the models are our own :mod:`repro.ml` linear/tree
+regressors, trained on the feedback store's observed ``reported_s`` (the
+simulated kernel time of past executions) against the plan features below.
+The adaptive planner uses predictions to rank strategy candidates for
+statements (or binding regions) that have no direct observation history yet;
+once a candidate has real observations, those win.
+
+Training happens in-process and is cheap by construction: the feature space
+is a dozen floats, the training set is the bounded feedback store, and both
+model families fit in well under a millisecond at that size.  Both are fit
+on every (re)train and the one with the lower training error serves — linear
+extrapolates smoothly across plan sizes, the tree captures the sharp
+serial/parallel regime boundary; which one wins depends on the workload mix
+recorded so far.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Optional, Sequence
+
+from repro.core.planner import OperatorPlan
+from repro.ml.models import DecisionTreeRegressor, LinearRegression
+
+#: Feature vector layout, in order.  ``log_*`` features are ``log1p``-scaled:
+#: cardinalities span orders of magnitude and both model families behave
+#: better on compressed scales.
+FEATURE_NAMES = (
+    "n_scan", "n_filter", "n_project", "n_join", "n_aggregate", "n_sort",
+    "n_other", "n_parallel_ops", "lanes",
+    "log_root_rows", "log_max_scan_rows", "log_total_scan_rows", "log_max_ndv",
+)
+
+#: describe() prefixes of the morsel-driven parallel operator variants.
+_PARALLEL_PREFIXES = ("Morsel", "Partitioned", "Parallel")
+
+_FAMILY_COUNTS = {
+    "Scan": "n_scan", "Filter": "n_filter", "Project": "n_project",
+    "HashJoin": "n_join", "NestedLoopJoin": "n_join",
+    "HashAggregate": "n_aggregate", "Sort": "n_sort",
+}
+
+
+def _walk(op) -> list:
+    out = [op]
+    for child in getattr(op, "children", ()) or ():
+        out.extend(_walk(child))
+    return out
+
+
+def featurize(plan: OperatorPlan, lanes: int) -> tuple[float, ...]:
+    """The feature vector of one planned strategy (see :data:`FEATURE_NAMES`)."""
+    from repro.adaptive.feedback import scope_family
+
+    counts = {name: 0.0 for name in FEATURE_NAMES}
+    for op in _walk(plan.root):
+        described = op.describe()
+        family = scope_family(described)
+        if family.startswith("Scan"):
+            family = "Scan"
+        counts[_FAMILY_COUNTS.get(family, "n_other")] += 1.0
+        if described.startswith(_PARALLEL_PREFIXES):
+            counts["n_parallel_ops"] += 1.0
+    counts["lanes"] = float(max(1, lanes))
+    estimates = plan.estimates or {}
+    counts["log_root_rows"] = math.log1p(estimates.get("root_rows", 0))
+    counts["log_max_scan_rows"] = math.log1p(estimates.get("max_scan_rows", 0))
+    counts["log_total_scan_rows"] = math.log1p(
+        estimates.get("total_scan_rows", 0))
+    counts["log_max_ndv"] = math.log1p(estimates.get("max_ndv", 0))
+    return tuple(counts[name] for name in FEATURE_NAMES)
+
+
+class StrategyCostModel:
+    """Predicts simulated seconds from plan features; retrains incrementally.
+
+    ``min_samples`` gates the first fit; after that the model refits every
+    ``retrain_every`` newly recorded executions.  Predictions are ``None``
+    until trained — callers fall back to static planning.
+    """
+
+    def __init__(self, min_samples: int = 12, retrain_every: int = 8):
+        self.min_samples = max(2, int(min_samples))
+        self.retrain_every = max(1, int(retrain_every))
+        self.kind: Optional[str] = None
+        self._model = None
+        self._trained_at = 0
+        self._lock = threading.Lock()
+
+    @property
+    def ready(self) -> bool:
+        return self._model is not None
+
+    @staticmethod
+    def _target(seconds: float) -> float:
+        # log-compress: queries span microseconds to seconds, and squared
+        # error on raw seconds would make the slowest statement the only
+        # thing either model fits.
+        return math.log1p(seconds * 1e3)
+
+    @staticmethod
+    def _untarget(value: float) -> float:
+        return max(0.0, math.expm1(value)) / 1e3
+
+    def maybe_train(self, store) -> bool:
+        """Refit when enough new feedback accumulated.  Returns True if fit."""
+        import numpy as np
+
+        with self._lock:
+            total = store.total_recorded
+            if total < self.min_samples:
+                return False
+            if self._model is not None \
+                    and total - self._trained_at < self.retrain_every:
+                return False
+            X_rows, y_rows = store.training_data()
+            if len(X_rows) < self.min_samples:
+                return False
+            X = np.asarray(X_rows, dtype=np.float64)
+            y = np.asarray([self._target(v) for v in y_rows], dtype=np.float64)
+            candidates = []
+            for kind, model in (("linear", LinearRegression()),
+                                ("tree", DecisionTreeRegressor(max_depth=4))):
+                model.fit(X, y)
+                error = float(np.mean((model.predict(X) - y) ** 2))
+                candidates.append((error, kind, model))
+            candidates.sort(key=lambda item: item[0])
+            _, self.kind, self._model = candidates[0]
+            self._trained_at = total
+            return True
+
+    def predict_seconds(self, features: Sequence[float]) -> Optional[float]:
+        """Predicted simulated seconds for one feature vector (None untrained)."""
+        import numpy as np
+
+        with self._lock:
+            model = self._model
+        if model is None:
+            return None
+        row = np.asarray([list(features)], dtype=np.float64)
+        return self._untarget(float(model.predict(row)[0]))

@@ -53,6 +53,7 @@ from repro.core.operators.filter import FilterOperator
 from repro.core.operators.join import HashJoinOperator
 from repro.core.operators.project import ProjectOperator
 from repro.core.operators.scan import ScanOperator
+from repro.core.tuning import DEFAULT_TUNING
 from repro.errors import ExecutionError
 from repro.frontend import ast
 from repro.frontend.logical import AggregateCall, Field
@@ -61,7 +62,9 @@ from repro.tensor.tracing import current_trace
 
 #: Minimum input cardinality for the planner to choose a parallel operator —
 #: below this, per-morsel dispatch overhead outweighs any lane parallelism.
-PARALLEL_THRESHOLD_ROWS = 2 * DEFAULT_MORSEL_ROWS
+#: Canonical home: :class:`repro.core.tuning.Tuning`; re-exported here for
+#: the operators' runtime small-input fallbacks and existing importers.
+PARALLEL_THRESHOLD_ROWS = DEFAULT_TUNING.parallel_threshold_rows
 
 #: Aggregate functions whose partial states merge losslessly (COUNT DISTINCT
 #: would need full value sets per group, so it stays on the serial path).

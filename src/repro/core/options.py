@@ -63,6 +63,15 @@ class ExecutionOptions:
         shard: sharding strategy for base tables when ``devices > 1`` —
             ``hash`` (rows spread by key hash) or ``range`` (contiguous row
             ranges).  Part of the plan-cache and conversion-cache keys.
+        adaptive: let the session's adaptive runtime
+            (:mod:`repro.adaptive`) pick the execution strategy from runtime
+            feedback.  Executions are profiled, their observed cardinalities
+            and simulated kernel times are recorded in the session's feedback
+            store, and a recurring statement is re-planned in place when the
+            observations (or the learned cost model) prefer a different
+            strategy — results are always identical across strategies.
+            ``parallelism`` then sets the lane budget the adaptive planner
+            may use, not a fixed choice.  Part of the plan-cache key.
     """
 
     backend: Optional[str] = None
@@ -75,6 +84,7 @@ class ExecutionOptions:
     executor: str = "auto"
     devices: Optional[int] = None
     shard: str = "hash"
+    adaptive: bool = False
 
     def __post_init__(self) -> None:
         if self.executor not in EXECUTOR_MODES:
@@ -105,4 +115,5 @@ class ExecutionOptions:
     def cache_key(self) -> tuple:
         """The options' contribution to the session plan-cache key."""
         return (self.backend, str(self.device), self.optimize, self.parallelism,
-                self.encoding, self.executor, self.devices, self.shard)
+                self.encoding, self.executor, self.devices, self.shard,
+                self.adaptive)

@@ -2,9 +2,13 @@
 
 With ``parallelism > 1`` the planner substitutes morsel-driven parallel
 operator variants (see :mod:`repro.core.operators.parallel`) wherever the
-estimated input cardinality clears :data:`PARALLEL_THRESHOLD_ROWS` and the
-operator's expressions are morsel-safe; everything else keeps the serial
-single-stream implementation.
+estimated input cardinality clears the parallel threshold of its
+:class:`~repro.core.tuning.Tuning` and the operator's expressions are
+morsel-safe; everything else keeps the serial single-stream implementation.
+Every size/cost threshold the planner consults comes from that one tuning
+object (``tools/lint_op_registry.py`` rejects hard-coded threshold literals
+here), which is how the adaptive layer plans alternative strategies for the
+same query.
 
 The planner is also where storage statistics enter the plan:
 
@@ -13,20 +17,21 @@ The planner is also where storage statistics enter the plan:
   attached to the scan (see :mod:`repro.storage.pruning`), so whole
   morsel-aligned blocks are dropped before any kernel runs;
 * filter **selectivity estimates** from the same statistics refine the
-  cardinality estimates feeding the ``PARALLEL_THRESHOLD_ROWS`` decision, so
-  a highly selective filter no longer forces parallel (partial-merge)
-  operators onto a handful of surviving rows.
+  cardinality estimates feeding the parallel-threshold decision, so a highly
+  selective filter no longer forces parallel (partial-merge) operators onto a
+  handful of surviving rows.  A ``filter_correction`` hook lets the adaptive
+  layer blend *observed* selectivities from past executions into those static
+  estimates.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Mapping, Optional
+from typing import Callable, Mapping, Optional
 
 from repro.core import ir
-from repro.core.columnar import DEFAULT_MORSEL_ROWS
+from repro.core.columnar import LogicalType
 from repro.core.operators import (
-    PARALLEL_THRESHOLD_ROWS,
     DistinctOperator,
     FilterOperator,
     HashAggregateOperator,
@@ -48,8 +53,8 @@ from repro.core.operators import (
     exprs_are_morsel_safe,
 )
 from repro.core.parameters import ParameterSpec
+from repro.core.tuning import Tuning, active_tuning
 from repro.distributed import (
-    SHARD_MIN_ROWS,
     BroadcastJoinOperator,
     DistributedFilterOperator,
     DistributedProjectOperator,
@@ -62,6 +67,15 @@ from repro.distributed import (
 from repro.errors import PlanningError
 from repro.frontend import ast
 from repro.frontend.logical import Field
+
+#: Estimated stored width per logical type for exchange byte costing: bools
+#: are byte masks, strings a fixed allowance for their code-point matrices,
+#: everything else (ints, floats, dates) 8-byte tensors.
+_NUMERIC_WIDTH_BYTES = 8
+_FIELD_WIDTH_BYTES = {
+    LogicalType.BOOL: 1,
+    LogicalType.STRING: 8 * _NUMERIC_WIDTH_BYTES,
+}
 
 
 @dataclasses.dataclass
@@ -86,6 +100,10 @@ class OperatorPlan:
     output_fields: list[Field]
     params: list[ParameterSpec] = dataclasses.field(default_factory=list)
     model_names: frozenset[str] = frozenset()
+    #: Planner cardinality estimates (``root_rows``, ``max_scan_rows``,
+    #: ``total_scan_rows``, ``max_ndv``) — the plan features the adaptive
+    #: layer's learned cost model trains on.
+    estimates: dict = dataclasses.field(default_factory=dict)
 
 
 def ir_node_expressions(node: ir.IRNode) -> list[ast.Expr]:
@@ -156,17 +174,30 @@ class Planner:
             operators only (the default, and the pre-parallelism behaviour).
         table_rows: registered row counts per table name, the cardinality
             estimates behind the parallel-operator threshold decision.
-        morsel_rows: rows per morsel for the parallel operators.
+        morsel_rows: rows per morsel for the parallel operators (defaults to
+            the tuning's ``morsel_rows``).
         use_threads: let worker pools use real threads when it is safe.
+        tuning: the size/cost thresholds this plan is built under; defaults
+            to the thread's :func:`~repro.core.tuning.active_tuning`.
+        filter_correction: optional hook mapping a static filter-selectivity
+            estimate to a corrected one — the adaptive layer passes a blend
+            with observed selectivities for recurring statements.
     """
 
     def __init__(self, parallelism: int = 1,
                  table_rows: Optional[Mapping[str, int]] = None,
-                 morsel_rows: int = DEFAULT_MORSEL_ROWS,
+                 morsel_rows: Optional[int] = None,
                  use_threads: bool = False,
                  table_stats: Optional[Mapping[str, object]] = None,
-                 devices: int = 1, shard_mode: str = "hash") -> None:
+                 devices: int = 1, shard_mode: str = "hash",
+                 tuning: Optional[Tuning] = None,
+                 filter_correction: Optional[Callable[[float], float]] = None
+                 ) -> None:
         self._scans: list[ScanOperator] = []
+        self.tuning = tuning if tuning is not None else active_tuning()
+        self.filter_correction = filter_correction
+        if morsel_rows is None:
+            morsel_rows = self.tuning.morsel_rows
         self.parallelism = max(1, int(parallelism))
         #: Simulated devices for sharded execution; 1 keeps plans single-device.
         self.devices = max(1, int(devices))
@@ -219,7 +250,29 @@ class Planner:
         params = sorted(self._params.values(), key=lambda spec: spec.position)
         return OperatorPlan(operator_root, self._scans, list(root.fields),
                             params=params,
-                            model_names=frozenset(self._model_names))
+                            model_names=frozenset(self._model_names),
+                            estimates=self._plan_estimates(root))
+
+    def _plan_estimates(self, root: ir.IRNode) -> dict:
+        """Summary cardinality/NDV estimates of a planned query.
+
+        Recorded on the :class:`OperatorPlan` so downstream consumers (the
+        adaptive layer's plan featurization) see the same numbers the
+        parallel/shard threshold decisions were made from.
+        """
+        scan_rows = [self._estimate_rows(node) for node in root.walk()
+                     if node.op == ir.SCAN]
+        ndvs = [column.ndv or 0
+                for node in root.walk() if node.op == ir.SCAN
+                for stats in [self.table_stats.get(node.attrs["table"].lower())]
+                if stats is not None
+                for column in stats.columns.values()]
+        return {
+            "root_rows": self._estimate_rows(root),
+            "max_scan_rows": max(scan_rows, default=0),
+            "total_scan_rows": sum(scan_rows),
+            "max_ndv": max(ndvs, default=0),
+        }
 
     # -- parameter / model collection ---------------------------------------
 
@@ -260,11 +313,16 @@ class Planner:
         else:
             estimate = max((self._estimate_rows(child) for child in node.children),
                            default=0)
-            if node.op == ir.FILTER and self._column_stats:
-                from repro.storage.pruning import estimate_selectivity
+            if node.op == ir.FILTER:
+                selectivity = 1.0
+                if self._column_stats:
+                    from repro.storage.pruning import estimate_selectivity
 
-                selectivity = estimate_selectivity(node.attrs["condition"],
-                                                   self._column_stats)
+                    selectivity = estimate_selectivity(node.attrs["condition"],
+                                                       self._column_stats)
+                if self.filter_correction is not None:
+                    selectivity = min(1.0, max(
+                        0.0, self.filter_correction(selectivity)))
                 estimate = int(estimate * selectivity)
         self._row_estimates[id(node)] = estimate
         return estimate
@@ -272,7 +330,7 @@ class Planner:
     def _parallel_ok(self, *input_nodes: ir.IRNode) -> bool:
         return (self.parallelism > 1
                 and max((self._estimate_rows(node) for node in input_nodes),
-                        default=0) >= PARALLEL_THRESHOLD_ROWS)
+                        default=0) >= self.tuning.parallel_threshold_rows)
 
     def _morsel_chain_ok(self, child_op: TensorOperator) -> bool:
         """May a morsel operator be stacked on ``child_op`` in this plan?
@@ -399,7 +457,7 @@ class Planner:
         attrs = node.attrs
 
         if node.op == ir.SCAN:
-            if self._estimate_rows(node) >= SHARD_MIN_ROWS:
+            if self._estimate_rows(node) >= self.tuning.shard_min_rows:
                 scan: ScanOperator = DistributedScanOperator(
                     attrs["table"], attrs["alias"], attrs["fields"],
                     self.devices, self.shard_mode)
@@ -435,10 +493,7 @@ class Planner:
                            + [attrs.get("residual")]) if expr is not None]
             safe = exprs_are_morsel_safe(join_exprs)
             if safe and left_sharded and right_sharded:
-                return (ShuffleJoinOperator(
-                    left_op, right_op, attrs["kind"], attrs["left_keys"],
-                    attrs["right_keys"], attrs.get("residual"),
-                    devices=self.devices), True)
+                return self._plan_sharded_join(node, left_op, right_op), True
             if safe and left_sharded:
                 # Sharded probe side + replicated build side works for every
                 # join kind: each left row lives on exactly one shard.
@@ -497,6 +552,62 @@ class Planner:
             return RenameOperator(child_op, attrs["output_fields"]), False
         raise PlanningError(f"no distributed implementation for IR op {node.op!r}")
 
+    def _estimate_bytes(self, node: ir.IRNode) -> int:
+        """Estimated payload size of a node's output, from rows × field widths.
+
+        The per-type widths are the storage sizes of the tensor layout
+        (8-byte numerics/dates, 1-byte bools) with a fixed allowance for
+        string code-point matrices; exchange decisions only need the two
+        sides' *relative* weight, so a rough width model is enough.
+        """
+        width = sum(_FIELD_WIDTH_BYTES.get(field.ltype, _NUMERIC_WIDTH_BYTES)
+                    for field in node.fields)
+        return self._estimate_rows(node) * max(width, 1)
+
+    def _plan_sharded_join(self, node: ir.IRNode, left_op: TensorOperator,
+                           right_op: TensorOperator) -> TensorOperator:
+        """Cheapest exchange for a join whose sides are *both* sharded.
+
+        Candidate exchanges, costed in estimated bytes moved across the
+        interconnect (``N`` devices, build/probe payloads ``L``/``R``):
+
+        * **shuffle both** — each side repartitions on the join key; a row
+          stays put with probability ``1/N``, so ``(N-1)/N × (L + R)`` moves;
+        * **broadcast right** — gather the sharded right side to the host
+          (``(N-1)/N × R`` in) and replicate it to every device (``N × R``
+          out) while the left side stays put; valid for every join kind
+          because each probe-side row lives on exactly one shard;
+        * **broadcast left** — symmetric, inner joins only (an outer/semi
+          probe side must not be replicated).
+
+        Broadcast wins only when one side is much smaller than the other
+        (``R < (N-1)/N² × L`` at equal widths); ties keep the shuffle, whose
+        per-device build tables are ``N×`` smaller.
+        """
+        attrs = node.attrs
+        n = self.devices
+        left_bytes = self._estimate_bytes(node.children[0])
+        right_bytes = self._estimate_bytes(node.children[1])
+        shuffle_cost = (n - 1) * (left_bytes + right_bytes) // n
+        broadcast_right_cost = (n - 1) * right_bytes // n + n * right_bytes
+        broadcast_left_cost = (n - 1) * left_bytes // n + n * left_bytes
+        if (broadcast_right_cost < shuffle_cost
+                and broadcast_right_cost <= broadcast_left_cost):
+            return BroadcastJoinOperator(
+                left_op, GatherOperator(right_op, self.devices),
+                attrs["kind"], attrs["left_keys"], attrs["right_keys"],
+                attrs.get("residual"), devices=self.devices,
+                broadcast="right")
+        if broadcast_left_cost < shuffle_cost and attrs["kind"] == "inner":
+            return BroadcastJoinOperator(
+                GatherOperator(left_op, self.devices), right_op,
+                attrs["kind"], attrs["left_keys"], attrs["right_keys"],
+                attrs.get("residual"), devices=self.devices,
+                broadcast="left")
+        return ShuffleJoinOperator(
+            left_op, right_op, attrs["kind"], attrs["left_keys"],
+            attrs["right_keys"], attrs.get("residual"), devices=self.devices)
+
     # -- zone-map pruning ----------------------------------------------------
 
     def _attach_scan_pruning(self, child_ir: ir.IRNode,
@@ -513,13 +624,12 @@ class Planner:
         if child_ir.op != ir.SCAN or not isinstance(child_op, ScanOperator):
             return
         from repro.storage.pruning import (
-            MIN_PRUNING_BLOCKS,
             annotate_discrimination,
             extract_pruning_conjuncts,
         )
 
         stats = self.table_stats.get(child_ir.attrs["table"].lower())
-        if stats is None or stats.num_blocks < MIN_PRUNING_BLOCKS:
+        if stats is None or stats.num_blocks < self.tuning.min_pruning_blocks:
             return
         field_names = [field.name for field in child_op.fields]
         conjuncts = extract_pruning_conjuncts(condition, field_names)
@@ -549,12 +659,16 @@ class Planner:
 
 def plan_ir(root: ir.IRNode, parallelism: int = 1,
             table_rows: Optional[Mapping[str, int]] = None,
-            morsel_rows: int = DEFAULT_MORSEL_ROWS,
+            morsel_rows: Optional[int] = None,
             use_threads: bool = False,
             table_stats: Optional[Mapping[str, object]] = None,
-            devices: int = 1, shard_mode: str = "hash") -> OperatorPlan:
+            devices: int = 1, shard_mode: str = "hash",
+            tuning: Optional[Tuning] = None,
+            filter_correction: Optional[Callable[[float], float]] = None
+            ) -> OperatorPlan:
     """Convenience wrapper: plan an IR tree into an :class:`OperatorPlan`."""
     return Planner(parallelism=parallelism, table_rows=table_rows,
                    morsel_rows=morsel_rows, use_threads=use_threads,
                    table_stats=table_stats, devices=devices,
-                   shard_mode=shard_mode).plan(root)
+                   shard_mode=shard_mode, tuning=tuning,
+                   filter_correction=filter_correction).plan(root)

@@ -54,6 +54,7 @@ import dataclasses
 import threading
 from typing import Any, Callable, Iterable, Optional, Sequence
 
+from repro.adaptive.planner import AdaptiveRuntime
 from repro.backends import BACKENDS
 from repro.core import ir_builder, ir_optimizer
 from repro.core.columnar import TensorTable
@@ -98,6 +99,9 @@ class CompiledQuery:
     #: Parameter-type hints the statement was compiled with (needed to
     #: re-plan faithfully when a held handle refreshes after a re-register).
     param_types: Optional[dict] = None
+    #: Adaptive strategy this plan was built under (``None`` when compiled
+    #: statically; see :mod:`repro.adaptive`).
+    strategy: Optional[str] = None
 
     @property
     def params(self) -> list[ParameterSpec]:
@@ -125,8 +129,10 @@ class CompiledQuery:
         self.operator_plan = fresh.operator_plan
         self.executor = fresh.executor
         self.schema_fingerprint = fresh.schema_fingerprint
+        self.strategy = fresh.strategy
 
-    def _prepare_execution(self) -> tuple[Executor, dict, dict]:
+    def _prepare_execution(self, params: Optional[dict] = None
+                           ) -> tuple[Executor, dict, dict]:
         """Atomic per-execution snapshot: ``(executor, inputs, zone maps)``.
 
         All three are re-resolved from the session per execution so a
@@ -137,8 +143,11 @@ class CompiledQuery:
         when its generation went stale.  The triple is snapshotted atomically
         under the session lock, so a concurrent re-registration can never
         hand an in-flight request mixed-generation state.
+
+        ``params`` lets the adaptive runtime attribute the execution to its
+        binding region when deciding whether to re-plan first.
         """
-        return self.session.execution_state(self)
+        return self.session.execution_state(self, params)
 
     def execute(self, profile: bool = False,
                 params: Optional[dict] = None) -> ExecutionResult:
@@ -147,10 +156,23 @@ class CompiledQuery:
         ``params`` binds the statement's parameters (validated with typed
         :class:`~repro.errors.BindingError`\\ s); re-executions with new
         bindings reuse the traced program.
+
+        Under ``ExecutionOptions(adaptive=True)`` every execution profiles
+        (the feedback the runtime learns from) and feeds its observations
+        back to ``session.adaptive`` afterwards.
         """
-        executor, inputs, stats = self._prepare_execution()
-        return executor.execute(inputs, profile=profile, params=params,
-                                scan_stats=stats)
+        adaptive = self.options.adaptive
+        executor, inputs, stats = self._prepare_execution(params)
+        # The strategy this snapshot runs under; read before executing so a
+        # concurrent re-plan can't misattribute the observation.
+        strategy = self.strategy
+        result = executor.execute(inputs, profile=profile or adaptive,
+                                  params=params, scan_stats=stats)
+        if adaptive:
+            self.session.adaptive.observe(
+                self, params, result, strategy=strategy,
+                plan_signature=executor.plan.root.pretty())
+        return result
 
     def run(self, params: Optional[dict] = None) -> DataFrame:
         """Execute and return the result as a DataFrame."""
@@ -315,6 +337,11 @@ class TQPSession:
         self._conversion_cache: dict[tuple, TensorTable] = {}
         #: Compiled-plan LRU: repeated queries skip parse→optimize→plan→trace.
         self.plan_cache = PlanCache(capacity=plan_cache_size)
+        #: Feedback loop behind ``ExecutionOptions(adaptive=True)``: observes
+        #: executions, corrects estimates, and re-plans cached statements when
+        #: a different strategy looks better (``self.adaptive.feedback.dump()``
+        #: exposes the collected observations).
+        self.adaptive = AdaptiveRuntime()
         self._table_versions: dict[str, int] = {}
         #: Guards the mutable session state (catalog, dataframes, models,
         #: conversion cache, table versions) against concurrent serving
@@ -463,21 +490,34 @@ class TQPSession:
                                        optimized=resolved.optimize,
                                        param_types=param_types)
             query_ir = ir_optimizer.optimize_ir(ir_builder.build_ir(physical))
-            operator_plan = plan_ir(
-                query_ir, parallelism=resolved.parallelism,
+            plan_kwargs = dict(
                 table_rows={name: frame.num_rows
                             for name, frame in self._dataframes.items()},
                 use_threads=self.parallel_mode == "threads",
                 table_stats={name: self.catalog.statistics(name)
                              for name in self._dataframes},
                 devices=resolved.devices, shard_mode=resolved.shard)
+            strategy = None
+            if resolved.adaptive:
+                # The runtime plans every strategy candidate and returns the
+                # preferred one; the executor runs under the strategy's lane
+                # count while the statement keeps ``resolved`` as its cache
+                # identity (so re-plans land on the same cache entry).
+                operator_plan, exec_options, strategy = \
+                    self.adaptive.plan_statement(
+                        sql, query_ir, resolved, plan_kwargs)
+            else:
+                operator_plan = plan_ir(
+                    query_ir, parallelism=resolved.parallelism, **plan_kwargs)
+                exec_options = resolved
             executor = Executor(operator_plan, models=dict(self._models),
-                                options=resolved,
+                                options=exec_options,
                                 scan_stats=self.scan_statistics(operator_plan))
             return CompiledQuery(
                 sql=sql, physical_plan=physical, ir=query_ir,
                 operator_plan=operator_plan, executor=executor,
                 session=self, options=resolved, param_types=param_types,
+                strategy=strategy,
                 schema_fingerprint=self._scan_fingerprint(operator_plan))
 
     def prepare(self, sql: str, options: Optional[ExecutionOptions] = None,
@@ -516,7 +556,8 @@ class TQPSession:
 
     # -- input preparation (data conversion phase) ----------------------------------
 
-    def execution_state(self, compiled: CompiledQuery
+    def execution_state(self, compiled: CompiledQuery,
+                        params: Optional[dict] = None
                         ) -> tuple[Executor, dict[str, TensorTable], dict]:
         """Atomic per-execution snapshot: ``(executor, inputs, zone maps)``.
 
@@ -532,9 +573,18 @@ class TQPSession:
         keep their object), the statement is re-planned here and the handle
         refreshed in place, so every held PreparedQuery keeps serving
         current data.
+
+        Adaptive statements re-plan through the same path when the runtime's
+        preferred strategy for this binding region differs from the compiled
+        one (new observations, a region switch, or a drift flush).
         """
         with self._lock:
-            if not self._plan_is_current(compiled):
+            replan = not self._plan_is_current(compiled)
+            if compiled.options.adaptive:
+                # Always consulted (lock order session → runtime): it also
+                # records the binding region a triggered re-plan compiles for.
+                replan = self.adaptive.wants_replan(compiled, params) or replan
+            if replan:
                 compiled._refresh_from(self._compile_uncached(
                     compiled.sql, compiled.options, compiled.param_types))
             executor = compiled.executor

@@ -28,14 +28,17 @@ import dataclasses
 
 import numpy as np
 
-from repro.core.columnar import DEFAULT_MORSEL_ROWS, TensorTable
+from repro.core.columnar import TensorTable
+from repro.core.tuning import DEFAULT_TUNING
 from repro.errors import ExecutionError
 from repro.tensor import ops
 
 #: Minimum base-table cardinality for the planner to shard its scan — below
 #: this, per-shard kernel overhead and the final gather outweigh any
 #: multi-device parallelism (the same reasoning as the morsel threshold).
-SHARD_MIN_ROWS = DEFAULT_MORSEL_ROWS
+#: Canonical home: :class:`repro.core.tuning.Tuning`; re-exported here for
+#: existing importers.
+SHARD_MIN_ROWS = DEFAULT_TUNING.shard_min_rows
 
 #: 64-bit multiplicative-hash constant (2^64 / golden ratio), wrapped to a
 #: signed int64 so numpy's wrapping multiply reproduces the unsigned mix.

@@ -413,29 +413,43 @@ class ServingRuntime:
         try:
             # One atomic (executor, inputs, zone-map) snapshot for the whole
             # batch: a concurrent register() either precedes or follows all
-            # of it, and a statement whose generation went stale is
-            # re-planned before anything executes.
-            executor, inputs, stats = compiled.session.execution_state(compiled)
+            # of it, and a statement whose generation went stale (or whose
+            # adaptive strategy preference changed) is re-planned before
+            # anything executes.
+            executor, inputs, stats = compiled.session.execution_state(
+                compiled, live[0].bound or None)
         except Exception as exc:  # noqa: BLE001 - forwarded to the tickets
             self._fail_all(live, exc)
             return
         if len(live) == 1 or not live[0].batchable:
+            # Strategy of this snapshot, read before executing so a
+            # concurrent re-plan can't misattribute the observations.
+            strategy = compiled.strategy
             for request in live:
-                self._run_single(request, executor, inputs, stats)
+                self._run_single(request, executor, inputs, stats, strategy)
             return
         self._run_batch(live, executor, inputs, stats)
 
-    def _run_single(self, request: _Request, executor, inputs, stats) -> None:
+    def _run_single(self, request: _Request, executor, inputs, stats,
+                    strategy=None) -> None:
+        adaptive = request.compiled.options.adaptive
         try:
             with request.scope:
                 result = executor.execute(
-                    inputs, profile=request.profile, params=request.bound,
-                    scan_stats=stats)
+                    inputs, profile=request.profile or adaptive,
+                    params=request.bound, scan_stats=stats)
         except Exception as exc:  # noqa: BLE001 - forwarded to the ticket
             with self._cond:
                 self._counters["failed"] += 1
             request.ticket._fail(exc)
             return
+        if adaptive:
+            # Outside the session lock (observe only takes the adaptive
+            # runtime's own locks), so workers record feedback concurrently.
+            request.compiled.session.adaptive.observe(
+                request.compiled, request.bound or None, result,
+                strategy=strategy,
+                plan_signature=executor.plan.root.pretty())
         with self._cond:
             self._counters["completed"] += 1
         request.ticket._complete(result)

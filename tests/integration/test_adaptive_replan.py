@@ -1,0 +1,128 @@
+"""Integration: adaptive re-planning on data drift, differential vs oracle.
+
+The scenario the adaptive subsystem exists for: a statement's strategy
+settles against one data distribution, the table is re-registered with the
+skew inverted, and the runtime must (a) notice the drift from its own
+observations, (b) flush the stale history and re-explore, (c) settle on a
+different strategy — while every single execution, before, during and after
+the flip, returns results bit-identical to a fresh non-adaptive oracle
+session over the same data.
+
+All aggregates here are integer-typed, so "bit-identical" is exact equality:
+no strategy (serial, morsel-parallel, threshold-gated) may change a single
+bit of the answer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DataFrame, ExecutionOptions, TQPSession
+
+N_ROWS = 20000
+SQL = ("SELECT grp, COUNT(*) AS n, SUM(k) AS sk FROM events "
+       "WHERE score < 50 GROUP BY grp")
+
+
+def broad_frame() -> DataFrame:
+    # ~99% of rows pass score < 50: big intermediate, lanes pay off.
+    rng = np.random.default_rng(20260808)
+    return DataFrame({
+        "k": np.arange(N_ROWS, dtype=np.int64),
+        "grp": (np.arange(N_ROWS, dtype=np.int64) % 13),
+        "score": np.where(np.arange(N_ROWS) % 100 == 0, 90.0, 1.0)
+                   + rng.uniform(0.0, 0.5, size=N_ROWS),
+    })
+
+
+def narrow_frame() -> DataFrame:
+    # Inverted skew: ~1% of rows pass, the parallel overheads dominate.
+    rng = np.random.default_rng(20260808)
+    return DataFrame({
+        "k": np.arange(N_ROWS, dtype=np.int64),
+        "grp": (np.arange(N_ROWS, dtype=np.int64) % 13),
+        "score": np.where(np.arange(N_ROWS) % 100 == 0, 1.0, 90.0)
+                   + rng.uniform(0.0, 0.5, size=N_ROWS),
+    })
+
+
+def oracle_rows(frame: DataFrame) -> list:
+    """The answer from a fresh, non-adaptive session over ``frame``."""
+    oracle = TQPSession()
+    oracle.register("events", frame)
+    result = oracle.sql(SQL).to_dict()
+    return sorted(zip(result["grp"], result["n"], result["sk"]))
+
+
+def result_rows(result) -> list:
+    data = result.to_dataframe().to_dict()
+    return sorted(zip(data["grp"], data["n"], data["sk"]))
+
+
+def test_drift_replans_and_stays_bit_identical():
+    broad, narrow = broad_frame(), narrow_frame()
+    broad_oracle, narrow_oracle = oracle_rows(broad), oracle_rows(narrow)
+
+    session = TQPSession()
+    session.register("events", broad)
+    query = session.prepare(SQL, options=ExecutionOptions(adaptive=True))
+    runtime = session.adaptive
+    settle = 3 * runtime.min_observations + 4
+
+    # Phase 1: settle against the broad distribution.
+    for _ in range(settle):
+        assert result_rows(query.execute()) == broad_oracle
+    before_shape = query.compiled.operator_plan.root.pretty()
+    before_strategy = query.compiled.strategy
+    assert "Morsel" in before_shape  # lanes win while 99% of rows survive
+
+    # Phase 2: invert the skew.  Every execution from the first one on must
+    # serve the new data exactly; the runtime detects the selectivity drift
+    # from its own feedback, flushes the stale history, re-explores, and
+    # settles on a different strategy.
+    recorded_before = runtime.feedback.total_recorded
+    session.register("events", narrow)
+    strategies = []
+    for _ in range(settle):
+        assert result_rows(query.execute()) == narrow_oracle
+        strategies.append(query.compiled.strategy)
+    after_shape = query.compiled.operator_plan.root.pretty()
+
+    # The drift flush discarded the settled history: the store holds fewer
+    # records than were ever recorded, and exploration visited every
+    # candidate again.
+    assert len(runtime.feedback) < recorded_before \
+        + len(strategies)
+    assert set(strategies) == {"auto", "serial", "parallel"}
+    # The settled choice flipped to a serial shape for the 1%-pass regime.
+    assert "Morsel" not in after_shape
+    assert (query.compiled.strategy, after_shape) \
+        != (before_strategy, before_shape)
+
+    # Phase 3: drift back.  The same machinery flips the statement again.
+    session.register("events", broad)
+    for _ in range(settle):
+        assert result_rows(query.execute()) == broad_oracle
+    assert "Morsel" in query.compiled.operator_plan.root.pretty()
+
+
+def test_reregister_alone_does_not_flush_without_drift():
+    """Re-registering *equivalent* data re-plans (version bump) but must not
+    discard the learned history: no drift, no flush, no re-exploration."""
+    session = TQPSession()
+    session.register("events", broad_frame())
+    query = session.prepare(SQL, options=ExecutionOptions(adaptive=True))
+    runtime = session.adaptive
+    for _ in range(3 * runtime.min_observations + 2):
+        query.execute()
+    settled = query.compiled.strategy
+    stored = len(runtime.feedback)
+
+    session.register("events", broad_frame())  # same distribution
+    oracle = oracle_rows(broad_frame())
+    for _ in range(3):
+        assert result_rows(query.execute()) == oracle
+        # The settled choice holds: equal data yields no drift signal.
+        assert query.compiled.strategy == settled
+    assert len(runtime.feedback) >= stored

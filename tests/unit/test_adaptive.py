@@ -1,0 +1,311 @@
+"""Unit tests for the adaptive execution subsystem.
+
+Covers the feedback store (bounded history, LRU bucket cap, thread-safety
+under a serving pool), binding-region bucketing and estimate-correction
+isolation across rebinds, the strategy exploration/settling loop, and the
+learned cost model's training gate.
+"""
+
+from __future__ import annotations
+
+import datetime
+import threading
+
+import numpy as np
+import pytest
+
+from repro import DataFrame, ExecutionOptions, TQPSession
+from repro.adaptive import (
+    EstimateCorrector,
+    ExecutionFeedback,
+    FeedbackStore,
+    OperatorObservation,
+    StrategyCostModel,
+    binding_region,
+    scope_family,
+)
+from repro.serve import ServingRuntime
+
+N_ROWS = 20000
+
+
+def make_feedback(key="q", region=(), strategy="auto", reported_s=1e-3,
+                  selectivity=None, operators=(), features=None):
+    return ExecutionFeedback(
+        statement_key=key, region=region, strategy=strategy,
+        reported_s=reported_s, result_rows=10,
+        filter_selectivity=selectivity, operators=tuple(operators),
+        features=features)
+
+
+@pytest.fixture(scope="module")
+def frames():
+    rng = np.random.default_rng(20260808)
+    return DataFrame({
+        "k": np.arange(N_ROWS, dtype=np.int64),
+        "grp": (np.arange(N_ROWS, dtype=np.int64) % 17),
+        "v": np.round(rng.uniform(0.0, 100.0, size=N_ROWS), 2),
+    })
+
+
+@pytest.fixture()
+def session(frames):
+    sess = TQPSession()
+    sess.register("t", frames)
+    return sess
+
+
+ADAPTIVE = ExecutionOptions(adaptive=True)
+SQL = "select grp, sum(v) as sv from t where v < :cut group by grp"
+
+
+# -- feedback store ------------------------------------------------------------
+
+
+def test_store_bounds_history_per_bucket():
+    store = FeedbackStore(history=4)
+    for i in range(10):
+        store.record(make_feedback(reported_s=float(i)))
+    rows = store.records("q", ())
+    assert len(rows) == 4
+    # Oldest evicted first: only the newest four survive.
+    assert [fb.reported_s for fb in rows] == [6.0, 7.0, 8.0, 9.0]
+    assert store.total_recorded == 10
+
+
+def test_store_bounds_bucket_count_lru():
+    store = FeedbackStore(history=4, max_buckets=3)
+    for name in ("a", "b", "c", "d"):
+        store.record(make_feedback(key=name))
+    # "a" was least recently used and fell off.
+    assert store.records("a", ()) == []
+    assert len(store.records("d", ())) == 1
+    # Touching "b" protects it from the next eviction.
+    store.record(make_feedback(key="b"))
+    store.record(make_feedback(key="e"))
+    assert len(store.records("b", ())) == 2
+    assert store.records("c", ()) == []
+
+
+def test_store_forget_statement_drops_every_region():
+    store = FeedbackStore()
+    store.record(make_feedback(region=(("p", 1),)))
+    store.record(make_feedback(region=(("p", 2),)))
+    store.record(make_feedback(key="other"))
+    assert store.forget_statement("q") == 2
+    assert store.records("q") == []
+    assert len(store.records("other", ())) == 1
+
+
+def test_store_concurrent_recording_is_consistent():
+    store = FeedbackStore(history=64)
+    barrier = threading.Barrier(8)
+
+    def hammer(worker):
+        barrier.wait()
+        for i in range(50):
+            store.record(make_feedback(key=f"q{worker % 4}",
+                                       reported_s=float(i)))
+            store.records(f"q{worker % 4}", ())
+            store.median_reported_s(f"q{worker % 4}", (), "auto")
+
+    threads = [threading.Thread(target=hammer, args=(w,)) for w in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert store.total_recorded == 400
+    assert len(store) == 4 * 64  # each of the 4 buckets filled to history
+
+
+# -- scope canonicalization ----------------------------------------------------
+
+
+def test_scope_family_canonicalizes_strategy_variants():
+    assert scope_family("Filter") == "Filter"
+    assert scope_family("MorselFilter(workers=4)") == "Filter"
+    assert scope_family("DistributedFilter(devices=2)") == "Filter"
+    assert scope_family("ShuffleJoin[inner](devices=2)") == "HashJoin"
+    assert scope_family("PartitionedHashJoin[left](workers=4)") == "HashJoin"
+    assert scope_family("ParallelHashAggregate(groups=1, workers=4)@w2") \
+        == "HashAggregate"
+    # Scans keep their table so two scans in one plan stay distinct.
+    assert scope_family("TableScan(lineitem)") == "Scan(lineitem)"
+    assert scope_family("MorselScan(lineitem, workers=4)") == "Scan(lineitem)"
+
+
+# -- binding regions & estimate correction -------------------------------------
+
+
+def test_binding_region_buckets_magnitudes_and_dates():
+    assert binding_region(None) == ()
+    assert binding_region({}) == ()
+    # Same factor-of-two band -> same bucket; far apart -> different.
+    assert binding_region({"q": 50.0}) == binding_region({"q": 60.0})
+    assert binding_region({"q": 50.0}) != binding_region({"q": 0.05})
+    assert binding_region({"q": -50.0}) != binding_region({"q": 50.0})
+    # Dates bucket by year, including date-as-nanosecond-epoch integers.
+    jan = datetime.date(1995, 1, 15)
+    dec = datetime.date(1995, 12, 1)
+    other = datetime.date(1998, 6, 1)
+    assert binding_region({"d": jan}) == binding_region({"d": dec})
+    assert binding_region({"d": jan}) != binding_region({"d": other})
+    ns_1995 = int(datetime.datetime(1995, 6, 1).timestamp() * 1e9)
+    ns_1998 = int(datetime.datetime(1998, 6, 1).timestamp() * 1e9)
+    assert binding_region({"d": ns_1995}) != binding_region({"d": ns_1998})
+    # Multi-parameter regions are order-insensitive.
+    assert binding_region({"a": 1, "b": "x"}) \
+        == binding_region({"b": "x", "a": 1})
+
+
+def test_correction_buckets_are_isolated_across_rebinds():
+    store = FeedbackStore()
+    broad = binding_region({"cut": 50.0})
+    narrow = binding_region({"cut": 0.05})
+    for _ in range(4):
+        store.record(make_feedback(region=broad, selectivity=0.5))
+        store.record(make_feedback(region=narrow, selectivity=0.001))
+    corrector = EstimateCorrector(store)
+    sel_broad, n_broad = corrector.observed_selectivity("q", broad)
+    sel_narrow, n_narrow = corrector.observed_selectivity("q", narrow)
+    assert sel_broad == pytest.approx(0.5)
+    assert sel_narrow == pytest.approx(0.001)
+    assert n_broad == n_narrow == 4
+    # The corrections pull the same static estimate in opposite directions.
+    correct_broad = corrector.correction_fn("q", broad)
+    correct_narrow = corrector.correction_fn("q", narrow)
+    assert correct_broad(0.1) > 0.3
+    assert correct_narrow(0.1) < 0.05
+    # A region with no history yields no correction at all.
+    assert corrector.correction_fn("q", binding_region({"cut": 1e9})) is None
+
+
+def test_correction_weight_grows_with_history():
+    store = FeedbackStore()
+    corrector = EstimateCorrector(store)
+    store.record(make_feedback(selectivity=0.9))
+    one = corrector.correction_fn("q", ())(0.1)
+    for _ in range(15):
+        store.record(make_feedback(selectivity=0.9))
+    many = corrector.correction_fn("q", ())(0.1)
+    assert 0.1 < one < many < 0.9
+    assert many == pytest.approx(0.9, abs=0.11)
+
+
+# -- cost model ----------------------------------------------------------------
+
+
+def test_cost_model_trains_after_min_samples_and_predicts():
+    store = FeedbackStore()
+    model = StrategyCostModel(min_samples=8, retrain_every=4)
+    # Synthetic regime: feature[0] alone determines cost.
+    for i in range(12):
+        x = float(i % 4)
+        features = (x,) + (0.0,) * 12
+        store.record(make_feedback(reported_s=1e-3 * (1.0 + x),
+                                   features=features))
+        model.maybe_train(store)
+    assert model.ready
+    cheap = model.predict_seconds((0.0,) + (0.0,) * 12)
+    dear = model.predict_seconds((3.0,) + (0.0,) * 12)
+    assert cheap is not None and dear is not None
+    assert dear > cheap
+
+
+def test_cost_model_not_ready_below_min_samples():
+    store = FeedbackStore()
+    model = StrategyCostModel(min_samples=8)
+    for _ in range(7):
+        store.record(make_feedback(features=(1.0,) * 13))
+        assert model.maybe_train(store) is False
+    assert model.predict_seconds((1.0,) * 13) is None
+
+
+# -- end-to-end adaptive loop --------------------------------------------------
+
+
+def test_adaptive_explores_then_settles_per_region(session):
+    query = session.prepare(SQL, options=ADAPTIVE)
+    runtime = session.adaptive
+    seen = []
+    for _ in range(3 * runtime.min_observations + 4):
+        query.bind(cut=50.0).execute()
+        seen.append(query.compiled.strategy)
+    # Every candidate explored, then the choice settles (stops changing).
+    assert set(seen) == {"auto", "serial", "parallel"}
+    settle = 3 * runtime.min_observations
+    assert len(set(seen[settle:])) == 1
+    # Feedback was recorded under the statement's plan-cache key, with the
+    # observed selectivity attached.
+    records = runtime.feedback.dump()
+    assert all(r["statement_key"] == query.compiled.sql.strip().lower()
+               or r["statement_key"] for r in records)
+    assert any(r["filter_selectivity"] is not None for r in records)
+
+
+def test_adaptive_keeps_independent_choices_per_region(session):
+    query = session.prepare(SQL, options=ADAPTIVE)
+    runtime = session.adaptive
+    rounds = 3 * runtime.min_observations + 4
+    for _ in range(rounds):
+        query.bind(cut=99.0).execute()
+    broad_choice = query.compiled.strategy
+    broad_shape = query.compiled.operator_plan.root.pretty()
+    for _ in range(rounds):
+        query.bind(cut=0.02).execute()
+    narrow_shape = query.compiled.operator_plan.root.pretty()
+    # Flipping back needs no re-exploration: the broad region's history is
+    # intact, so the first broad execution re-plans straight to its winner.
+    query.bind(cut=99.0).execute()
+    assert query.compiled.strategy == broad_choice
+    regions = {r["region"] for r in runtime.feedback.dump()}
+    assert len(regions) == 2
+    # On 20k rows the broad regime profits from lanes ("auto" and
+    # "parallel" plan identically there, so either name may win the tie);
+    # the needle regime settles on a serial shape — either the "serial"
+    # strategy or "auto" whose corrected estimate fell under the threshold.
+    assert "Morsel" in broad_shape
+    assert "Morsel" not in narrow_shape
+
+
+def test_adaptive_results_match_static_execution(session, frames_match):
+    adaptive = session.prepare(SQL, options=ADAPTIVE)
+    static = session.prepare(
+        "select grp, sum(v) as sv2 from t where v < :cut group by grp")
+    reference = static.bind(cut=50.0).run()
+    for _ in range(8):
+        frames_match(adaptive.bind(cut=50.0).run(), reference,
+                     context=f"strategy={adaptive.compiled.strategy}")
+
+
+def test_adaptive_feedback_under_serving_pool(session):
+    """Many workers over one adaptive statement: no lost or torn records."""
+    # Integer aggregation: exact under every strategy, so concurrent
+    # exploration cannot produce float round-off differences.
+    sql = "select grp, sum(k) as sk from t where v < :cut group by grp"
+    expected = None
+    # batch_window=1 keeps every request on the single-request path, the
+    # one that records feedback (batched replays skip observation).
+    with ServingRuntime(session, workers=4, max_queue_depth=256,
+                        batch_window=1) as serving:
+        statement = serving.prepare(sql, options=ADAPTIVE)
+        tickets = [serving.submit(statement, params={"cut": 50.0})
+                   for _ in range(24)]
+        results = [t.result(timeout=60) for t in tickets]
+        for result in results:
+            frame = result.to_dataframe()
+            rows = sorted(zip(*[frame[c] for c in frame.columns]))
+            if expected is None:
+                expected = rows
+            assert rows == expected
+    store = session.adaptive.feedback
+    assert store.total_recorded == 24
+    assert len(store) == 24
+    # All observations landed in the single broad-binding region.
+    assert len({r["region"] for r in store.dump()}) == 1
+
+
+def test_non_adaptive_statements_record_nothing(session):
+    session.prepare(SQL).bind(cut=50.0).execute()
+    assert len(session.adaptive.feedback) == 0
+    assert session.adaptive.replan_count == 0

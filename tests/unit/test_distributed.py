@@ -237,3 +237,77 @@ def test_reregister_does_not_leak_between_shard_modes(session, frames,
                  context="hash after re-register")
     frames_match(run(session, sql, devices=2, shard="range"), reference,
                  context="range after re-register")
+
+
+# -- shuffle vs broadcast cost crossover --------------------------------------
+#
+# Both-sides-sharded joins pick the exchange by estimated bytes moved:
+# shuffling repartitions (N-1)/N of both inputs, broadcasting gathers and
+# replicates the chosen side to every device.  Broadcasting the right side
+# wins once the left outweighs it by more than the replication overhead
+# (at N devices: N²·right < (N-1)·left); comparable sides keep the shuffle.
+
+
+def _sharded_join_session(n_facts: int, n_dims: int) -> TQPSession:
+    rng = np.random.default_rng(20260808)
+    sess = TQPSession()
+    sess.register("facts", DataFrame({
+        "fact_id": np.arange(n_facts, dtype=np.int64),
+        "key": rng.integers(0, n_dims, size=n_facts).astype(np.int64),
+        "val": np.round(rng.uniform(0.0, 100.0, size=n_facts), 2),
+    }))
+    sess.register("dims", DataFrame({
+        "key": np.arange(n_dims, dtype=np.int64),
+        "name": rng.choice(["a", "b", "c"], size=n_dims).astype(object),
+    }))
+    return sess
+
+
+_JOIN_SQL = ("SELECT d.name, SUM(f.val) AS tv FROM facts f "
+             "JOIN dims d ON f.key = d.key GROUP BY d.name")
+
+
+def _join_line(sess, sql, **options) -> str:
+    compiled = sess.compile(sql, options=ExecutionOptions(shard="hash",
+                                                          **options))
+    lines = [line.strip()
+             for line in compiled.operator_plan.root.pretty().splitlines()
+             if "Join" in line]
+    assert len(lines) == 1, lines
+    return lines[0]
+
+
+def test_sharded_join_crossover_flips_shuffle_to_broadcast(frames_match):
+    # Far past the crossover: the dimension side is 32× smaller in rows (and
+    # more in bytes), so replicating it moves far less than repartitioning
+    # the fact side.
+    lopsided = _sharded_join_session(32 * SHARD_MIN_ROWS, SHARD_MIN_ROWS)
+    line = _join_line(lopsided, _JOIN_SQL, devices=2)
+    assert line.startswith("BroadcastJoin"), line
+    assert "broadcast=right" in line
+
+    # Comparable sides (≈3:1, inside the N²·R vs (N-1)·L margin): shuffling
+    # both is cheaper than replicating either.
+    comparable = _sharded_join_session(3 * SHARD_MIN_ROWS,
+                                       SHARD_MIN_ROWS + 100)
+    assert _join_line(comparable, _JOIN_SQL, devices=2).startswith(
+        "ShuffleJoin")
+
+    # The decision must never show in the answers.
+    for sess in (lopsided, comparable):
+        reference = run(sess, _JOIN_SQL)
+        frames_match(run(sess, _JOIN_SQL, devices=2), reference,
+                     context="broadcast-vs-shuffle crossover")
+
+
+def test_sharded_join_broadcasts_small_left_only_when_inner():
+    sess = _sharded_join_session(SHARD_MIN_ROWS, 32 * SHARD_MIN_ROWS)
+    # Inner join: the tiny left (build) side replicates.
+    line = _join_line(sess, _JOIN_SQL, devices=2)
+    assert line.startswith("BroadcastJoin"), line
+    assert "broadcast=left" in line
+    # LEFT OUTER join: broadcasting the preserved side would duplicate its
+    # unmatched rows on every device, so the planner must keep the shuffle.
+    outer = ("SELECT f.val, d.name FROM facts f "
+             "LEFT JOIN dims d ON f.key = d.key")
+    assert _join_line(sess, outer, devices=2).startswith("ShuffleJoin")

@@ -16,7 +16,10 @@ rots:
    constant — dispatch must stay name-generic.  The two shared sentinels
    (``to_device`` transfers, ``fused_kernel``) are exempt because their
    special-case rules are themselves defined in ``op_semantics``;
-4. both executor modules import ``op_semantics``.
+4. both executor modules import ``op_semantics``;
+5. the planner gates on :mod:`repro.core.tuning` constants, never on
+   hard-coded threshold literals (which the adaptive runtime could not
+   override).
 
 Run from the repository root: ``python tools/lint_op_registry.py``
 (``PYTHONPATH=src``, as in CI).
@@ -53,6 +56,11 @@ COST_MODEL_MODULES = (
 #: executors: their rules (transfer forwarding, fused-step unrolling) are
 #: defined once in op_semantics and the executors merely reference them.
 SHARED_SENTINELS = {op_semantics.TRANSFER_OP, op_semantics.FUSED_OP}
+
+#: The planner module: every magic performance threshold it gates on must
+#: come from :mod:`repro.core.tuning`, never a literal, so the adaptive
+#: runtime (and tests) can override them per strategy.
+PLANNER_MODULE = REPO_ROOT / "src" / "repro" / "core" / "planner.py"
 
 
 def check_registry_coverage(problems: list[str]) -> None:
@@ -136,6 +144,38 @@ def check_module(path: pathlib.Path, problems: list[str]) -> None:
                 f"per-op special cases belong in op_semantics / the registry")
 
 
+def check_planner_tuning(path: pathlib.Path, problems: list[str]) -> None:
+    """The planner's thresholds live in ``repro.core.tuning``, not inline.
+
+    Any integer literal ≥ 2 used as a comparison bound in the planner is a
+    tuning constant in disguise — it silently forks the threshold set the
+    adaptive runtime overrides per strategy.  (0/1 compare against "none/one
+    lane|device", which is structure, not tuning.)
+    """
+    rel = path.relative_to(REPO_ROOT)
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(rel))
+    imports = {
+        node.module
+        for node in ast.walk(tree)
+        if isinstance(node, ast.ImportFrom) and node.module
+    }
+    if "repro.core.tuning" not in imports:
+        problems.append(f"{rel}: does not import repro.core.tuning — planner "
+                        f"thresholds must come from the tuning module")
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        for comp in node.comparators:
+            if (isinstance(comp, ast.Constant)
+                    and isinstance(comp.value, int)
+                    and not isinstance(comp.value, bool)
+                    and comp.value >= 2):
+                problems.append(
+                    f"{rel}:{node.lineno}: hard-coded threshold literal "
+                    f"{comp.value} in {ast.unparse(node)!r} — gate on a "
+                    f"repro.core.tuning constant instead")
+
+
 def main() -> int:
     problems: list[str] = []
     check_registry_coverage(problems)
@@ -144,6 +184,7 @@ def main() -> int:
         check_module(path, problems)
     for path in COST_MODEL_MODULES:
         check_cost_model(path, problems)
+    check_planner_tuning(PLANNER_MODULE, problems)
     if problems:
         print("op-registry lint FAILED:")
         for problem in problems:
